@@ -1,0 +1,210 @@
+// Package client is the Go client for the Serenade recommendation REST API
+// (see internal/serving for the server side). The shop frontend — or any
+// service embedding recommendations — calls Recommend on every product
+// detail page view; the client handles timeouts, retries on transient
+// failures, and the session affinity header used by the sticky-session
+// proxy.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/serving"
+	"serenade/internal/sessions"
+)
+
+// Options configures a Client.
+type Options struct {
+	// BaseURL is the server or proxy address, e.g. "http://localhost:8080".
+	BaseURL string
+	// Timeout bounds each attempt; 0 means 50ms — the paper's SLA is
+	// "respond in 50 ms or less", beyond which the frontend drops the slot.
+	Timeout time.Duration
+	// Retries is the number of additional attempts on transient errors
+	// (network failures and 5xx); 0 means 1 retry.
+	Retries int
+	// HTTPClient overrides the transport (tests inject httptest clients).
+	HTTPClient *http.Client
+}
+
+// Client calls the Serenade API. Safe for concurrent use.
+type Client struct {
+	base    *url.URL
+	http    *http.Client
+	retries int
+}
+
+// New validates the options and returns a client.
+func New(opts Options) (*Client, error) {
+	base, err := url.Parse(opts.BaseURL)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", opts.BaseURL)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 50 * time.Millisecond
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 1
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	// The per-attempt timeout lives on the client copy so callers' shared
+	// transports are not mutated.
+	attempt := *hc
+	attempt.Timeout = opts.Timeout
+	return &Client{base: base, http: &attempt, retries: opts.Retries}, nil
+}
+
+// Recommend reports the user's interaction with item in session sessionKey
+// and returns the next-item recommendations.
+func (c *Client) Recommend(ctx context.Context, sessionKey string, item sessions.ItemID, consent bool) (serving.Response, error) {
+	if sessionKey == "" {
+		return serving.Response{}, fmt.Errorf("client: session key is required")
+	}
+	body, err := json.Marshal(serving.Request{SessionKey: sessionKey, Item: item, Consent: consent})
+	if err != nil {
+		return serving.Response{}, err
+	}
+	var out serving.Response
+	err = c.do(ctx, http.MethodPost, "/v1/recommend", sessionKey, body, &out)
+	return out, err
+}
+
+// Explain asks why item would be recommended to the session.
+func (c *Client) Explain(ctx context.Context, sessionKey string, item sessions.ItemID) (core.Explanation, error) {
+	var out core.Explanation
+	path := "/v1/explain?session_id=" + url.QueryEscape(sessionKey) + "&item_id=" + strconv.FormatUint(uint64(item), 10)
+	err := c.do(ctx, http.MethodGet, path, sessionKey, nil, &out)
+	return out, err
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (serving.Stats, error) {
+	var out serving.Stats
+	err := c.do(ctx, http.MethodGet, "/metrics", "", nil, &out)
+	return out, err
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := c.newRequest(ctx, http.MethodGet, "/healthz", "", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path, sessionKey string, body []byte) (*http.Request, error) {
+	u, err := c.base.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), rdr)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if sessionKey != "" {
+		// Affinity header for proxies that cannot see the body.
+		req.Header.Set("X-Session-Id", sessionKey)
+	}
+	return req, nil
+}
+
+// apiError is a non-2xx response.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+// retryable reports whether the failure is worth another attempt.
+func retryable(err error) bool {
+	var ae *apiError
+	if asAPIError(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true // transport errors
+}
+
+func asAPIError(err error, target **apiError) bool {
+	ae, ok := err.(*apiError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}
+
+func (c *Client) do(ctx context.Context, method, path, sessionKey string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 2 * time.Millisecond):
+			}
+		}
+		req, err := c.newRequest(ctx, method, path, sessionKey, body)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+			lastErr = &apiError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(msg))}
+			if !retryable(lastErr) {
+				return lastErr
+			}
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("client: decoding response: %w", err)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// StatusCode extracts the HTTP status from an error returned by this
+// package, or 0 when the error was not an API response.
+func StatusCode(err error) int {
+	var ae *apiError
+	if asAPIError(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+// Command serenade-datagen generates synthetic clickstream datasets (the
+// stand-ins for the paper's proprietary and public datasets) and prints
+// Table 1 statistics.
+//
+// Usage:
+//
+//	serenade-datagen -list
+//	serenade-datagen -profile ecom-1m-sim -out ecom-1m.csv.gz
+//	serenade-datagen -stats                     # regenerate Table 1
+//	serenade-datagen -stats -quick              # shrunk sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"serenade"
+	"serenade/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serenade-datagen: ")
+
+	var (
+		list    = flag.Bool("list", false, "list available dataset profiles")
+		profile = flag.String("profile", "", "dataset profile to generate")
+		out     = flag.String("out", "", "output CSV path (.gz for compression)")
+		stats   = flag.Bool("stats", false, "print Table 1 statistics for all profiles")
+		quick   = flag.Bool("quick", false, "shrink dataset sizes for fast runs")
+		seed    = flag.Int64("seed", 0, "override the profile's random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, name := range serenade.DatasetProfiles() {
+			fmt.Println(name)
+		}
+	case *stats:
+		rows, err := experiments.Table1(experiments.Options{Quick: *quick, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+	case *profile != "":
+		cfg, err := serenade.DatasetProfile(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		ds, err := serenade.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			*out = *profile + ".csv.gz"
+		}
+		if err := serenade.SaveCSV(*out, ds); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n%s\n", *out, serenade.Stats(ds))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

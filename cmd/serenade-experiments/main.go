@@ -1,0 +1,156 @@
+// Command serenade-experiments regenerates the paper's entire evaluation in
+// one run — every table and figure, in order — writing the report to
+// stdout. This is the one-command reproduction script.
+//
+//	serenade-experiments            # full-size (minutes)
+//	serenade-experiments -quick     # shrunk datasets (tens of seconds)
+//	serenade-experiments -skip grid,abtest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"serenade/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serenade-experiments: ")
+
+	var (
+		quick = flag.Bool("quick", false, "shrink datasets and sweeps")
+		seed  = flag.Int64("seed", 0, "random seed override")
+		skip  = flag.String("skip", "", "comma-separated experiments to skip (table1,quality,grid,implementations,micro,loadtest,abtest,kv,scaling,extensions,complexity)")
+	)
+	flag.Parse()
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+
+	skipped := map[string]bool{}
+	for _, s := range strings.Split(*skip, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			skipped[s] = true
+		}
+	}
+
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"table1", func() error {
+			rows, err := experiments.Table1(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable1(os.Stdout, rows)
+			return nil
+		}},
+		{"quality", func() error {
+			rows, err := experiments.Quality(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintQuality(os.Stdout, rows)
+			return nil
+		}},
+		{"grid", func() error {
+			cells, err := experiments.Grid("ecom-1m-sim", opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintGrid(os.Stdout, "ecom-1m-sim", cells)
+			return nil
+		}},
+		{"implementations", func() error {
+			rows, err := experiments.ImplComparison(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintImplComparison(os.Stdout, rows)
+			return nil
+		}},
+		{"micro", func() error {
+			rows, err := experiments.Micro(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintMicro(os.Stdout, rows)
+			return nil
+		}},
+		{"loadtest", func() error {
+			dur := 10 * time.Second
+			if opts.Quick {
+				dur = 2 * time.Second
+			}
+			res, err := experiments.LoadTest(experiments.LoadTestConfig{RPS: 1000, Duration: dur, Replicas: 2}, opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintLoadTest(os.Stdout, res)
+			return nil
+		}},
+		{"abtest", func() error {
+			res, err := experiments.ABTest(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintABTest(os.Stdout, res)
+			return nil
+		}},
+		{"kv", func() error {
+			res, err := experiments.KVBench(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintKVBench(os.Stdout, res)
+			return nil
+		}},
+		{"scaling", func() error {
+			per := 4 * time.Second
+			if opts.Quick {
+				per = time.Second
+			}
+			rows, err := experiments.CoreScaling(nil, per, opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCoreScaling(os.Stdout, rows)
+			return nil
+		}},
+		{"extensions", func() error {
+			res, err := experiments.Extensions(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintExtensions(os.Stdout, res)
+			return nil
+		}},
+		{"complexity", func() error {
+			rows, err := experiments.Complexity(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintComplexity(os.Stdout, rows)
+			return nil
+		}},
+	}
+
+	start := time.Now()
+	for _, step := range steps {
+		if skipped[step.name] {
+			fmt.Printf("== %s: skipped ==\n\n", step.name)
+			continue
+		}
+		fmt.Printf("== %s ==\n", step.name)
+		stepStart := time.Now()
+		if err := step.run(); err != nil {
+			log.Fatalf("%s: %v", step.name, err)
+		}
+		fmt.Printf("(%s in %v)\n\n", step.name, time.Since(stepStart).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Second))
+}

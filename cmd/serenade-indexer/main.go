@@ -1,0 +1,57 @@
+// Command serenade-indexer runs the offline index generation job: it reads
+// a click-log CSV, builds the VMIS-kNN session similarity index with the
+// data-parallel batch engine (the paper's daily Spark job), and writes the
+// compressed index file consumed by serenade-server.
+//
+// Usage:
+//
+//	serenade-indexer -data clicks.csv.gz -out index.srn -capacity 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serenade-indexer: ")
+
+	var (
+		data     = flag.String("data", "", "input click-log CSV (required)")
+		out      = flag.String("out", "index.srn", "output index path")
+		capacity = flag.Int("capacity", 1000, "posting-list capacity (max query-time m; 0 = unbounded)")
+		workers  = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *data == "" {
+		log.Fatal("-data is required")
+	}
+
+	start := time.Now()
+	ds, err := serenade.LoadCSV(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %s in %v\n", serenade.Stats(ds), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	idx, err := serenade.BuildIndexParallel(ds, *capacity, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built index: %d sessions, %d items, ~%.1f MB in memory, in %v\n",
+		idx.NumSessions(), idx.NumItems(),
+		float64(idx.MemoryFootprint())/(1<<20),
+		time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	if err := serenade.SaveIndex(*out, idx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s in %v\n", *out, time.Since(start).Round(time.Millisecond))
+}

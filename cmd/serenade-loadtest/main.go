@@ -1,0 +1,63 @@
+// Command serenade-loadtest reproduces the Figure 3(b) load test: replayed
+// traffic at a target rate against a pool of stateful replicas, reporting
+// per-second request counts, latency percentiles and core usage.
+//
+//	serenade-loadtest -rps 1000 -duration 30s -replicas 2
+//	serenade-loadtest -sweep                      # §7 core-usage scaling
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"serenade/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serenade-loadtest: ")
+
+	var (
+		rps      = flag.Int("rps", 1000, "target requests per second")
+		duration = flag.Duration("duration", 15*time.Second, "test duration")
+		replicas = flag.Int("replicas", 2, "stateful serving replicas")
+		quick    = flag.Bool("quick", false, "use a small dataset")
+		sweep    = flag.Bool("sweep", false, "run the core-usage scaling sweep instead")
+		rates    = flag.String("rates", "100,200,400,600", "comma-separated rates for -sweep")
+		perRate  = flag.Duration("per-rate", 5*time.Second, "duration per rate for -sweep")
+		seed     = flag.Int64("seed", 0, "random seed override")
+	)
+	flag.Parse()
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+
+	if *sweep {
+		var rs []int
+		for _, s := range strings.Split(*rates, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad rate %q: %v", s, err)
+			}
+			rs = append(rs, v)
+		}
+		rows, err := experiments.CoreScaling(rs, *perRate, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintCoreScaling(os.Stdout, rows)
+		return
+	}
+
+	res, err := experiments.LoadTest(experiments.LoadTestConfig{
+		RPS:      *rps,
+		Duration: *duration,
+		Replicas: *replicas,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.PrintLoadTest(os.Stdout, res)
+}

@@ -1,0 +1,114 @@
+// Command serenade-server is the online serving component: a stateful
+// recommendation server that loads the prebuilt session-similarity index,
+// maintains evolving user sessions in a local TTL store, and answers
+// next-item recommendation requests over HTTP (see internal/serving for the
+// endpoints).
+//
+// Usage:
+//
+//	serenade-server -index index.srn -addr :8080 -m 500 -k 500
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serenade-server: ")
+
+	var (
+		indexPath = flag.String("index", "", "index file from serenade-indexer (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		m         = flag.Int("m", 500, "recency sample size (hyperparameter m)")
+		k         = flag.Int("k", 500, "number of neighbours (hyperparameter k)")
+		history   = flag.Int("history", 0, "session items used for prediction (0 = all; 2 = serenade-hist; 1 = serenade-recent)")
+		slotSize  = flag.Int("recommendations", 21, "items per response")
+		ttl       = flag.Duration("session-ttl", 30*time.Minute, "session inactivity expiry")
+		storeDir  = flag.String("store-dir", "", "durable session store directory (empty = memory only)")
+		fallback  = flag.Bool("fallback-popular", true, "pad short lists with popular items")
+		trendHL   = flag.Duration("trending-half-life", 2*time.Hour, "trending tracker half-life (0 disables /v1/trending)")
+	)
+	flag.Parse()
+	if *indexPath == "" {
+		log.Fatal("-index is required")
+	}
+
+	start := time.Now()
+	idx, err := serenade.LoadIndex(*indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded index: %d sessions, %d items in %v",
+		idx.NumSessions(), idx.NumItems(), time.Since(start).Round(time.Millisecond))
+
+	var tracker *serenade.TrendingTracker
+	if *trendHL > 0 {
+		tracker = serenade.NewTrendingTracker(*trendHL)
+	}
+	srv, err := serenade.NewServer(idx, serenade.ServerConfig{
+		Params:            serenade.Params{M: *m, K: *k},
+		Recommendations:   *slotSize,
+		HistoryLength:     *history,
+		SessionTTL:        *ttl,
+		StoreDir:          *storeDir,
+		Catalog:           serenade.NewCatalog(),
+		FallbackToPopular: *fallback,
+		Trending:          tracker,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Periodic session expiry, mirroring the 30-minute RocksDB TTL.
+	sweepDone := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(time.Minute)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := srv.SweepSessions(); n > 0 {
+					log.Printf("swept %d expired sessions", n)
+				}
+			case <-sweepDone:
+				return
+			}
+		}
+	}()
+	defer close(sweepDone)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("serving on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	st := srv.Stats()
+	log.Printf("served %d requests, p90 %v", st.Requests, st.P90Latency)
+}

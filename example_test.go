@@ -1,0 +1,82 @@
+package serenade_test
+
+import (
+	"fmt"
+
+	"serenade"
+)
+
+// Example demonstrates the library's core lifecycle: generate (or load)
+// historical clicks, build the index offline, recommend online.
+func Example() {
+	ds, err := serenade.Generate(serenade.SmallDataset(42))
+	if err != nil {
+		panic(err)
+	}
+	idx, err := serenade.BuildIndex(ds, 500)
+	if err != nil {
+		panic(err)
+	}
+	rec, err := serenade.New(idx, serenade.Params{M: 500, K: 100})
+	if err != nil {
+		panic(err)
+	}
+	items := rec.Recommend([]serenade.ItemID{10, 11, 12}, 3)
+	fmt.Println(len(items), "recommendations")
+	// Output: 3 recommendations
+}
+
+// ExampleEvaluate shows offline evaluation with the session-rec protocol.
+func ExampleEvaluate() {
+	ds, _ := serenade.Generate(serenade.SmallDataset(42))
+	train, test := serenade.Split(ds, 1)
+	idx, _ := serenade.BuildIndex(train, 500)
+	rec, _ := serenade.New(idx, serenade.Params{M: 500, K: 100})
+
+	report, err := serenade.Evaluate(rec.Recommend, test, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(report.N > 0, report.MRR > 0)
+	// Output: true true
+}
+
+// ExampleCompress shows the compressed query-time index: a smaller memory
+// footprint with identical recommendations.
+func ExampleCompress() {
+	ds, _ := serenade.Generate(serenade.SmallDataset(42))
+	idx, _ := serenade.BuildIndex(ds, 0)
+	comp := serenade.Compress(idx)
+
+	raw, _ := serenade.New(idx, serenade.Params{M: 100, K: 50})
+	small, _ := serenade.NewCompressed(comp, serenade.Params{M: 100, K: 50})
+
+	q := []serenade.ItemID{7}
+	a, b := raw.Recommend(q, 5), small.Recommend(q, 5)
+	same := len(a) == len(b)
+	for i := range a {
+		same = same && a[i] == b[i]
+	}
+	fmt.Println("identical:", same, "— smaller:", comp.MemoryFootprint() < idx.MemoryFootprint())
+	// Output: identical: true — smaller: true
+}
+
+// ExampleNewIncrementalIndex shows online index maintenance: appending
+// finished sessions and compacting with a retention horizon.
+func ExampleNewIncrementalIndex() {
+	ds, _ := serenade.Generate(serenade.SmallDataset(42))
+	inc, _ := serenade.NewIncrementalIndex(ds, 0)
+
+	last := ds.Sessions[len(ds.Sessions)-1].Time()
+	inc.Append([]serenade.ItemID{1, 2, 3}, last+60)
+	fmt.Println("delta sessions:", inc.DeltaSessions())
+
+	inc.EvictBefore(last - 180*24*3600) // 180-day retention
+	if err := inc.Compact(); err != nil {
+		panic(err)
+	}
+	fmt.Println("delta after compaction:", inc.DeltaSessions())
+	// Output:
+	// delta sessions: 1
+	// delta after compaction: 0
+}

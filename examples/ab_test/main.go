@@ -1,0 +1,71 @@
+// A/B comparison: evaluate the paper's two production variants —
+// serenade-hist (predict from the last two session items) and
+// serenade-recent (last item only) — against the legacy item-to-item
+// collaborative filter they replaced, on held-out sessions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := serenade.SmallDataset(11)
+	cfg.NumSessions = 6000
+	ds, err := serenade.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := serenade.Split(ds, 1)
+
+	idx, err := serenade.BuildIndex(train, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmis, err := serenade.New(idx, serenade.Params{M: 500, K: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacy := serenade.NewItemItemCF(train)
+
+	// The production variants are prediction policies on top of the same
+	// index: they differ only in how much session history feeds the query.
+	variants := []struct {
+		name string
+		rec  func([]serenade.ItemID, int) []serenade.ScoredItem
+	}{
+		{"legacy (item-item CF)", legacy.Recommend},
+		{"serenade-hist", lastN(vmis.Recommend, 2)},
+		{"serenade-recent", lastN(vmis.Recommend, 1)},
+	}
+
+	fmt.Println("variant                  MRR@20   HR@20    Prec@20")
+	var control serenade.Metrics
+	for i, v := range variants {
+		report, err := serenade.Evaluate(v.rec, test, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-23s  %.4f   %.4f   %.4f", v.name, report.MRR, report.HitRate, report.Precision)
+		if i == 0 {
+			control = report
+			fmt.Println("   (control)")
+			continue
+		}
+		fmt.Printf("   (MRR %+.1f%% vs control)\n", (report.MRR-control.MRR)/control.MRR*100)
+	}
+}
+
+// lastN restricts the prediction input to the session's most recent n items.
+func lastN(rec func([]serenade.ItemID, int) []serenade.ScoredItem, n int) func([]serenade.ItemID, int) []serenade.ScoredItem {
+	return func(ev []serenade.ItemID, size int) []serenade.ScoredItem {
+		if len(ev) > n {
+			ev = ev[len(ev)-n:]
+		}
+		return rec(ev, size)
+	}
+}

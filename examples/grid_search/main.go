@@ -1,0 +1,59 @@
+// Grid search: tune the VMIS-kNN hyperparameters m (recency sample size)
+// and k (neighbours) on a held-out day, the offline procedure behind
+// Figure 2 of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := serenade.SmallDataset(3)
+	cfg.NumSessions = 5000
+	ds, err := serenade.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := serenade.Split(ds, 1)
+	fmt.Printf("train: %d sessions, test: %d sessions\n", len(train.Sessions), len(test.Sessions))
+
+	// One index build covers every combination: the posting-list capacity
+	// just has to admit the largest m.
+	ms := []int{50, 100, 500, 1000}
+	ks := []int{50, 100, 500}
+	idx, err := serenade.BuildIndex(train, ms[len(ms)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n   m      k   MRR@20   Prec@20")
+	best := struct {
+		m, k int
+		mrr  float64
+	}{}
+	for _, m := range ms {
+		for _, k := range ks {
+			if k > m {
+				continue // neighbours are drawn from the sample
+			}
+			rec, err := serenade.New(idx, serenade.Params{M: m, K: k})
+			if err != nil {
+				log.Fatal(err)
+			}
+			report, err := serenade.Evaluate(rec.Recommend, test, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%4d  %5d   %.4f   %.4f\n", m, k, report.MRR, report.Precision)
+			if report.MRR > best.mrr {
+				best.m, best.k, best.mrr = m, k, report.MRR
+			}
+		}
+	}
+	fmt.Printf("\nbest by MRR@20: m=%d k=%d (%.4f)\n", best.m, best.k, best.mrr)
+}

@@ -1,0 +1,95 @@
+// Incremental maintenance: keep the session-similarity index fresh online
+// instead of rebuilding it once per day — appending finished sessions as
+// they complete, expiring sessions past the retention window, and
+// periodically compacting. This exercises the future-work direction from
+// the paper's conclusion, together with the compressed query-time index.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Yesterday's batch build seeds the index.
+	cfg := serenade.SmallDataset(99)
+	ds, err := serenade.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inc, err := serenade.NewIncrementalIndex(ds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := serenade.NewIncremental(inc, serenade.Params{M: 500, K: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base index: %d sessions\n", inc.NumSessions())
+
+	// New sessions stream in as users finish browsing. Queries observe
+	// them immediately — no overnight delay for new activity.
+	last := ds.Sessions[len(ds.Sessions)-1].Time()
+	trending := []serenade.ItemID{7, 300, 301} // item 300/301 suddenly co-browsed
+	for i := 0; i < 500; i++ {
+		last += 30
+		if _, err := inc.Append(trending, last); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after streaming appends: %d sessions (%d in delta)\n",
+		inc.NumSessions(), inc.DeltaSessions())
+
+	fmt.Println("\nrecommendations for a session on item 300 (live trend visible):")
+	for i, item := range rec.Recommend([]serenade.ItemID{300}, 5) {
+		fmt.Printf("%2d. item %-5d score %.3f\n", i+1, item.Item, item.Score)
+	}
+
+	// Nightly housekeeping: drop sessions past the retention window and
+	// fold the delta into a fresh base.
+	horizon := last - 6*24*3600
+	inc.EvictBefore(horizon)
+	if err := inc.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter retention eviction + compaction: %d sessions (%d in delta)\n",
+		inc.NumSessions(), inc.DeltaSessions())
+
+	// For memory-constrained replicas, ship a compressed snapshot instead.
+	full, err := serenade.BuildIndex(ds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := serenade.Compress(full)
+	crec, err := serenade.NewCompressed(comp, serenade.Params{M: 500, K: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompressed index: %.1f%% of the raw footprint, identical results: %v\n",
+		100*float64(comp.MemoryFootprint())/float64(full.MemoryFootprint()),
+		sameTop(crec.Recommend([]serenade.ItemID{7}, 5), mustRecommend(full, []serenade.ItemID{7})))
+}
+
+func mustRecommend(idx *serenade.Index, q []serenade.ItemID) []serenade.ScoredItem {
+	r, err := serenade.New(idx, serenade.Params{M: 500, K: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r.Recommend(q, 5)
+}
+
+func sameTop(a, b []serenade.ScoredItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

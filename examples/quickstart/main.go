@@ -1,0 +1,51 @@
+// Quickstart: generate a small clickstream, build the VMIS-kNN index, and
+// compute next-item recommendations for an evolving session.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Historical click data. In production this comes from the last 180
+	// days of platform logs; here we generate a small synthetic clickstream
+	// with realistic session structure.
+	ds, err := serenade.Generate(serenade.SmallDataset(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("historical data:", serenade.Stats(ds))
+
+	// 2. Offline index build (the paper's daily batch job). The capacity
+	// must cover the largest sample size m we plan to query.
+	idx, err := serenade.BuildIndex(ds, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d sessions, %d items, ~%.1f MB\n",
+		idx.NumSessions(), idx.NumItems(), float64(idx.MemoryFootprint())/(1<<20))
+
+	// 3. Online recommendation. An evolving session is the sequence of
+	// items the user has viewed, most recent last.
+	rec, err := serenade.New(idx, serenade.Params{M: 500, K: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	evolving := []serenade.ItemID{10, 11, 12}
+	fmt.Printf("\nsession %v — top 10 next items:\n", evolving)
+	for i, item := range rec.Recommend(evolving, 10) {
+		fmt.Printf("%2d. item %-5d score %.3f\n", i+1, item.Item, item.Score)
+	}
+
+	// The recommendations adapt as the session evolves.
+	evolving = append(evolving, 200)
+	fmt.Printf("\nafter viewing item 200 — top 10 next items:\n")
+	for i, item := range rec.Recommend(evolving, 10) {
+		fmt.Printf("%2d. item %-5d score %.3f\n", i+1, item.Item, item.Score)
+	}
+}

@@ -1,0 +1,115 @@
+// Serving: run a stateful recommendation server on localhost and drive a
+// user session against its REST API, including the depersonalisation
+// (consent) flow and a business-rule filter.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"serenade"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := serenade.Generate(serenade.SmallDataset(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := serenade.BuildIndex(ds, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The catalog carries the business rules: flag one popular item as out
+	// of stock so it never appears in a recommendation slot.
+	catalog := serenade.NewCatalog()
+	catalog.SetAvailable(1, false)
+
+	srv, err := serenade.NewServer(idx, serenade.ServerConfig{
+		Params:     serenade.Params{M: 500, K: 100},
+		Catalog:    catalog,
+		SessionTTL: 30 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("server listening on", base)
+
+	// A user browses three product detail pages; each view is one request
+	// that both updates the session state and returns recommendations.
+	for _, item := range []serenade.ItemID{10, 11, 12} {
+		resp := recommend(base, "user-1", item, true)
+		fmt.Printf("viewed item %-3d -> session length %d, top recs: %v\n",
+			item, resp.SessionLength, itemIDs(resp.Items, 5))
+	}
+
+	// The user revokes consent: the stored history is dropped and the
+	// prediction uses only the currently displayed item.
+	resp := recommend(base, "user-1", 12, false)
+	fmt.Printf("consent revoked   -> session length %d (history discarded)\n", resp.SessionLength)
+
+	// Score attribution: why would the top item be recommended to user-2?
+	resp2 := recommend(base, "user-2", 10, true)
+	if len(resp2.Items) > 0 {
+		var ex struct {
+			Score         float64 `json:"Score"`
+			Contributions []any   `json:"Contributions"`
+		}
+		get(fmt.Sprintf("%s/v1/explain?session_id=user-2&item_id=%d", base, resp2.Items[0].Item), &ex)
+		fmt.Printf("explain item %d   -> score %.2f from %d neighbour sessions\n",
+			resp2.Items[0].Item, ex.Score, len(ex.Contributions))
+	}
+
+	var stats struct {
+		Requests       uint64 `json:"requests"`
+		ActiveSessions int    `json:"active_sessions"`
+	}
+	get(base+"/metrics", &stats)
+	fmt.Printf("server metrics: %d requests, %d active sessions\n", stats.Requests, stats.ActiveSessions)
+}
+
+func recommend(base, session string, item serenade.ItemID, consent bool) serenade.Response {
+	var out serenade.Response
+	url := fmt.Sprintf("%s/v1/recommend?session_id=%s&item_id=%d&consent=%t", base, session, item, consent)
+	get(url, &out)
+	return out
+}
+
+func get(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func itemIDs(items []serenade.ScoredItem, n int) []serenade.ItemID {
+	if len(items) > n {
+		items = items[:n]
+	}
+	out := make([]serenade.ItemID, len(items))
+	for i, it := range items {
+		out[i] = it.Item
+	}
+	return out
+}

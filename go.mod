@@ -1,0 +1,3 @@
+module serenade
+
+go 1.24

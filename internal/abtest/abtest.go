@@ -1,0 +1,373 @@
+// Package abtest simulates the three-week online A/B test of §5.2.3.
+//
+// The paper randomly assigns 45 million live user sessions to one of three
+// arms — legacy item-to-item CF, serenade-hist (predicting from the last two
+// session items) and serenade-recent (last item only) — and measures a
+// conversion-related engagement metric for the product-detail-page slot,
+// plus a site-wide view that exposed serenade-recent's cannibalisation of
+// the neighbouring "often bought together" slot.
+//
+// Live users are unavailable, so engagement is simulated with a behavioural
+// model grounded in what the recommenders actually produce: a user engages
+// with the slot with a probability that rises when the item they actually
+// clicked next appears high in the recommendation list (relevance drives
+// clicks), and the neighbouring slot loses attention in proportion to how
+// much the two slots' recommendations overlap (two slots showing the same
+// items compete for the same click). Cannibalisation is therefore emergent:
+// an arm that conditions only on the current item produces lists that
+// overlap the item-to-item "bought together" slot far more than an arm that
+// blends in session history.
+package abtest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/metrics"
+	"serenade/internal/sessions"
+)
+
+// RecommendFunc produces a ranked top-n recommendation list for an evolving
+// session.
+type RecommendFunc func(evolving []sessions.ItemID, n int) []core.ScoredItem
+
+// Arm is one experiment variant.
+type Arm struct {
+	Name      string
+	Recommend RecommendFunc
+}
+
+// EngagementModel parameterises the simulated user behaviour.
+type EngagementModel struct {
+	// BaseRate is the probability of engaging with the slot when the
+	// recommendations are irrelevant (brand effects, curiosity).
+	BaseRate float64
+	// HitBoost is the additional engagement probability when the user's
+	// true next item is ranked first; it decays geometrically with rank.
+	HitBoost float64
+	// RankDecay is the per-rank multiplicative decay of HitBoost.
+	RankDecay float64
+	// Slot2Base is the baseline engagement of the neighbouring
+	// "often bought together" slot.
+	Slot2Base float64
+	// OverlapPenalty scales how strongly slot-1/slot-2 recommendation
+	// overlap suppresses slot-2 engagement.
+	OverlapPenalty float64
+	// AttentionPenalty models the user's limited attention per page view:
+	// slot-2 engagement is suppressed in proportion to slot-1's engagement
+	// probability on the same impression. The arm that wins the most
+	// clicks for its own slot therefore drains the neighbouring slot — the
+	// cannibalisation §5.2.3 observed for serenade-recent.
+	AttentionPenalty float64
+}
+
+// DefaultEngagementModel returns parameters producing click-through rates
+// in the low single-digit percent range typical of e-commerce slots.
+func DefaultEngagementModel() EngagementModel {
+	return EngagementModel{
+		BaseRate:         0.010,
+		HitBoost:         0.35,
+		RankDecay:        0.85,
+		Slot2Base:        0.030,
+		OverlapPenalty:   0.4,
+		AttentionPenalty: 1.2,
+	}
+}
+
+// Config describes one simulated A/B test.
+type Config struct {
+	// Test supplies the user sessions replayed through the experiment.
+	Test *sessions.Dataset
+	// Arms are the experiment variants; the first arm is the control that
+	// lifts are computed against.
+	Arms []Arm
+	// Slot2 produces the neighbouring slot's recommendations (the legacy
+	// complements slot); nil disables the cannibalisation model.
+	Slot2 RecommendFunc
+	// Model is the engagement model; the zero value selects
+	// DefaultEngagementModel.
+	Model EngagementModel
+	// SlotSize is the recommendation list length (production: 21).
+	SlotSize int
+	// Seed drives the simulated user randomness.
+	Seed int64
+}
+
+// ArmResult aggregates one arm's outcome.
+type ArmResult struct {
+	Name        string
+	Sessions    int
+	Impressions int
+	// Slot1Engagements counts engagements with the slot under test
+	// ("other customers also viewed").
+	Slot1Engagements int
+	// Slot2Engagements counts engagements with the neighbouring slot.
+	Slot2Engagements int
+	Slot1Rate        float64
+	Slot2Rate        float64
+	SitewideRate     float64
+}
+
+// Comparison is an arm-vs-control readout.
+type Comparison struct {
+	Arm string
+	// Slot1LiftPct is the relative change of the slot engagement rate vs
+	// control, in percent — the paper's headline +2.85% / +5.72%.
+	Slot1LiftPct float64
+	// Slot2LiftPct exposes cannibalisation of the neighbouring slot.
+	Slot2LiftPct float64
+	// SitewideLiftPct is the combined-slots change.
+	SitewideLiftPct float64
+	// PValue is the two-sided two-proportion z-test p-value for the slot-1
+	// engagement difference.
+	PValue float64
+	// Significant reports PValue < 0.05.
+	Significant bool
+}
+
+// DailySignificance tracks one treatment arm's cumulative evidence day by
+// day — the monitoring view an experimenter watches to decide when the test
+// can stop.
+type DailySignificance struct {
+	Arm string
+	// PValues[d] is the two-proportion z-test p-value of the slot-1
+	// engagement difference vs control using all data up to and including
+	// day d (0-based).
+	PValues []float64
+	// FirstSignificantDay is the first day (1-based) at which the
+	// cumulative p-value dropped below 0.05 and stayed interpretable;
+	// 0 when the test never reached significance.
+	FirstSignificantDay int
+}
+
+// Result is the full experiment outcome.
+type Result struct {
+	Arms        []ArmResult
+	Comparisons []Comparison
+	// Latency aggregates per-request recommendation latency over the whole
+	// test, bucketed by simulated day (the Figure 3(c) series).
+	Latency *metrics.Series
+	// Daily is the cumulative significance trajectory per treatment arm.
+	Daily []DailySignificance
+}
+
+// assign deterministically maps a session to an arm, mimicking the
+// hash-based randomised assignment of production experimentation platforms.
+func assign(sessionID sessions.SessionID, seed int64, arms int) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d", seed, sessionID)
+	return int(h.Sum64() % uint64(arms))
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Arms) < 2 {
+		return nil, fmt.Errorf("abtest: need at least a control and one treatment, got %d arms", len(cfg.Arms))
+	}
+	if cfg.Test == nil || len(cfg.Test.Sessions) == 0 {
+		return nil, fmt.Errorf("abtest: empty test dataset")
+	}
+	if cfg.SlotSize <= 0 {
+		cfg.SlotSize = 21
+	}
+	if cfg.Model == (EngagementModel{}) {
+		cfg.Model = DefaultEngagementModel()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	results := make([]ArmResult, len(cfg.Arms))
+	for i, arm := range cfg.Arms {
+		results[i].Name = arm.Name
+	}
+	latency := metrics.NewSeries(24 * time.Hour)
+	start := cfg.Test.Sessions[0].Time()
+
+	// Per-arm, per-day slot-1 counts for the cumulative significance
+	// trajectory.
+	dailyImp := make([][]int, len(cfg.Arms))
+	dailyEng := make([][]int, len(cfg.Arms))
+	record := func(arm, day int, engaged bool) {
+		for len(dailyImp[arm]) <= day {
+			dailyImp[arm] = append(dailyImp[arm], 0)
+			dailyEng[arm] = append(dailyEng[arm], 0)
+		}
+		dailyImp[arm][day]++
+		if engaged {
+			dailyEng[arm][day]++
+		}
+	}
+
+	for si := range cfg.Test.Sessions {
+		s := &cfg.Test.Sessions[si]
+		if s.Len() < 2 {
+			continue
+		}
+		armIdx := assign(s.ID, cfg.Seed, len(cfg.Arms))
+		arm := cfg.Arms[armIdx]
+		res := &results[armIdx]
+		res.Sessions++
+
+		for t := 0; t < s.Len()-1; t++ {
+			evolving := s.Items[:t+1]
+			next := s.Items[t+1]
+
+			began := time.Now()
+			recs := arm.Recommend(evolving, cfg.SlotSize)
+			took := time.Since(began)
+			latency.Record(time.Duration(s.Times[t]-start)*time.Second, took)
+
+			res.Impressions++
+			p1 := cfg.Model.BaseRate
+			for rank, r := range recs {
+				if r.Item == next {
+					p1 += cfg.Model.HitBoost * math.Pow(cfg.Model.RankDecay, float64(rank))
+					break
+				}
+			}
+			engaged1 := rng.Float64() < p1
+			if engaged1 {
+				res.Slot1Engagements++
+			}
+			day := int((s.Times[t] - start) / (24 * 3600))
+			if day < 0 {
+				day = 0
+			}
+			record(armIdx, day, engaged1)
+
+			if cfg.Slot2 != nil {
+				slot2 := cfg.Slot2(evolving, cfg.SlotSize)
+				overlap := overlapFraction(recs, slot2)
+				p2 := cfg.Model.Slot2Base *
+					(1 - cfg.Model.OverlapPenalty*overlap) *
+					(1 - cfg.Model.AttentionPenalty*p1)
+				if p2 < 0 {
+					p2 = 0
+				}
+				if rng.Float64() < p2 {
+					res.Slot2Engagements++
+				}
+			}
+		}
+	}
+
+	for i := range results {
+		r := &results[i]
+		if r.Impressions == 0 {
+			continue
+		}
+		n := float64(r.Impressions)
+		r.Slot1Rate = float64(r.Slot1Engagements) / n
+		r.Slot2Rate = float64(r.Slot2Engagements) / n
+		r.SitewideRate = float64(r.Slot1Engagements+r.Slot2Engagements) / n
+	}
+
+	control := results[0]
+	var comps []Comparison
+	for _, r := range results[1:] {
+		c := Comparison{Arm: r.Name}
+		c.Slot1LiftPct = liftPct(r.Slot1Rate, control.Slot1Rate)
+		c.Slot2LiftPct = liftPct(r.Slot2Rate, control.Slot2Rate)
+		c.SitewideLiftPct = liftPct(r.SitewideRate, control.SitewideRate)
+		c.PValue = TwoProportionZTest(
+			r.Slot1Engagements, r.Impressions,
+			control.Slot1Engagements, control.Impressions,
+		)
+		c.Significant = c.PValue < 0.05
+		comps = append(comps, c)
+	}
+	daily := dailySignificance(cfg.Arms, dailyImp, dailyEng)
+	return &Result{Arms: results, Comparisons: comps, Latency: latency, Daily: daily}, nil
+}
+
+// dailySignificance computes each treatment's cumulative p-value per day
+// against the control (arm 0).
+func dailySignificance(arms []Arm, dailyImp, dailyEng [][]int) []DailySignificance {
+	days := 0
+	for _, d := range dailyImp {
+		if len(d) > days {
+			days = len(d)
+		}
+	}
+	if days == 0 {
+		return nil
+	}
+	cumulative := func(arm, day int) (eng, imp int) {
+		for d := 0; d <= day && d < len(dailyImp[arm]); d++ {
+			imp += dailyImp[arm][d]
+			eng += dailyEng[arm][d]
+		}
+		return eng, imp
+	}
+	var out []DailySignificance
+	for arm := 1; arm < len(arms); arm++ {
+		ds := DailySignificance{Arm: arms[arm].Name, PValues: make([]float64, days)}
+		for day := 0; day < days; day++ {
+			e1, n1 := cumulative(arm, day)
+			e0, n0 := cumulative(0, day)
+			p := TwoProportionZTest(e1, n1, e0, n0)
+			ds.PValues[day] = p
+			if ds.FirstSignificantDay == 0 && p < 0.05 {
+				ds.FirstSignificantDay = day + 1
+			}
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
+func liftPct(treatment, control float64) float64 {
+	if control == 0 {
+		return 0
+	}
+	return (treatment - control) / control * 100
+}
+
+// overlapFraction is |A ∩ B| / max(|A|,|B|) over the items of two ranked
+// lists.
+func overlapFraction(a, b []core.ScoredItem) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[sessions.ItemID]struct{}, len(a))
+	for _, x := range a {
+		set[x.Item] = struct{}{}
+	}
+	shared := 0
+	for _, y := range b {
+		if _, ok := set[y.Item]; ok {
+			shared++
+		}
+	}
+	denom := len(a)
+	if len(b) > denom {
+		denom = len(b)
+	}
+	return float64(shared) / float64(denom)
+}
+
+// TwoProportionZTest returns the two-sided p-value for the difference of
+// two binomial proportions x1/n1 vs x2/n2 under the pooled normal
+// approximation.
+func TwoProportionZTest(x1, n1, x2, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	p1 := float64(x1) / float64(n1)
+	p2 := float64(x2) / float64(n2)
+	pooled := float64(x1+x2) / float64(n1+n2)
+	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		return 1
+	}
+	z := (p1 - p2) / se
+	// Two-sided p-value via the complementary normal CDF.
+	return 2 * (1 - normalCDF(math.Abs(z)))
+}
+
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

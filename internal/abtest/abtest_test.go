@@ -1,0 +1,278 @@
+package abtest
+
+import (
+	"math"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+// oracle recommends the session's true next item first (only possible in a
+// simulation — used to give one arm a known quality edge).
+func oracle(ds *sessions.Dataset) RecommendFunc {
+	nextOf := map[string]sessions.ItemID{}
+	key := func(ev []sessions.ItemID) string {
+		return string(encode(ev))
+	}
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		for t := 0; t < s.Len()-1; t++ {
+			nextOf[key(s.Items[:t+1])] = s.Items[t+1]
+		}
+	}
+	return func(ev []sessions.ItemID, n int) []core.ScoredItem {
+		out := make([]core.ScoredItem, 0, n)
+		if next, ok := nextOf[key(ev)]; ok {
+			out = append(out, core.ScoredItem{Item: next, Score: 1})
+		}
+		for i := 0; len(out) < n; i++ {
+			out = append(out, core.ScoredItem{Item: sessions.ItemID(1000 + i), Score: 0})
+		}
+		return out
+	}
+}
+
+func encode(ev []sessions.ItemID) []byte {
+	b := make([]byte, 0, len(ev)*4)
+	for _, it := range ev {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return b
+}
+
+// junk recommends constant irrelevant items.
+func junk(ev []sessions.ItemID, n int) []core.ScoredItem {
+	out := make([]core.ScoredItem, n)
+	for i := range out {
+		out[i] = core.ScoredItem{Item: sessions.ItemID(90000 + i), Score: 1}
+	}
+	return out
+}
+
+func testDataset(t *testing.T) *sessions.Dataset {
+	t.Helper()
+	cfg := synth.Small(31)
+	cfg.NumSessions = 1500
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := Run(Config{Test: ds, Arms: []Arm{{Name: "only", Recommend: junk}}}); err == nil {
+		t.Error("single arm accepted")
+	}
+	if _, err := Run(Config{Arms: []Arm{{Name: "a", Recommend: junk}, {Name: "b", Recommend: junk}}}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestBetterArmWins(t *testing.T) {
+	ds := testDataset(t)
+	res, err := Run(Config{
+		Test: ds,
+		Arms: []Arm{
+			{Name: "control-junk", Recommend: junk},
+			{Name: "treatment-oracle", Recommend: oracle(ds)},
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Comparisons) != 1 {
+		t.Fatalf("comparisons = %d, want 1", len(res.Comparisons))
+	}
+	c := res.Comparisons[0]
+	if c.Slot1LiftPct <= 0 {
+		t.Errorf("oracle arm lift = %.2f%%, want positive", c.Slot1LiftPct)
+	}
+	if !c.Significant {
+		t.Errorf("oracle-vs-junk difference not significant (p=%.4f)", c.PValue)
+	}
+}
+
+func TestAssignmentIsDeterministicAndBalanced(t *testing.T) {
+	counts := make([]int, 3)
+	for i := 0; i < 9000; i++ {
+		a := assign(sessions.SessionID(i), 42, 3)
+		if a != assign(sessions.SessionID(i), 42, 3) {
+			t.Fatal("assignment not deterministic")
+		}
+		counts[a]++
+	}
+	for arm, c := range counts {
+		share := float64(c) / 9000
+		if share < 0.25 || share > 0.42 {
+			t.Errorf("arm %d share = %.3f, want ~1/3", arm, share)
+		}
+	}
+}
+
+func TestCannibalisationEmergesFromOverlap(t *testing.T) {
+	ds := testDataset(t)
+	slot2 := junk // slot 2 shows fixed items 90000+
+	overlapping := func(ev []sessions.ItemID, n int) []core.ScoredItem {
+		return junk(ev, n) // identical items -> full overlap
+	}
+	distinct := func(ev []sessions.ItemID, n int) []core.ScoredItem {
+		out := make([]core.ScoredItem, n)
+		for i := range out {
+			out[i] = core.ScoredItem{Item: sessions.ItemID(50000 + i), Score: 1}
+		}
+		return out
+	}
+	res, err := Run(Config{
+		Test: ds,
+		Arms: []Arm{
+			{Name: "distinct", Recommend: distinct},
+			{Name: "overlapping", Recommend: overlapping},
+		},
+		Slot2: slot2,
+		Seed:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Comparisons[0]
+	if c.Slot2LiftPct >= 0 {
+		t.Errorf("overlapping arm slot2 lift = %.2f%%, want negative (cannibalisation)", c.Slot2LiftPct)
+	}
+}
+
+func TestAttentionCannibalisation(t *testing.T) {
+	ds := testDataset(t)
+	// Slot 2 shows items disjoint from both arms, so overlap plays no
+	// role; only the attention competition differs. The arm with the more
+	// relevant slot-1 list must drain slot-2 engagement.
+	slot2 := func(ev []sessions.ItemID, n int) []core.ScoredItem {
+		out := make([]core.ScoredItem, n)
+		for i := range out {
+			out[i] = core.ScoredItem{Item: sessions.ItemID(70000 + i), Score: 1}
+		}
+		return out
+	}
+	res, err := Run(Config{
+		Test: ds,
+		Arms: []Arm{
+			{Name: "control-junk", Recommend: junk},
+			{Name: "treatment-oracle", Recommend: oracle(ds)},
+		},
+		Slot2: slot2,
+		Seed:  11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Comparisons[0]
+	if c.Slot1LiftPct <= 0 {
+		t.Fatalf("oracle arm slot1 lift = %.2f%%, want positive", c.Slot1LiftPct)
+	}
+	if c.Slot2LiftPct >= 0 {
+		t.Errorf("oracle arm slot2 lift = %.2f%%, want negative (attention cannibalisation)", c.Slot2LiftPct)
+	}
+}
+
+func TestLatencySeriesPopulated(t *testing.T) {
+	ds := testDataset(t)
+	res, err := Run(Config{
+		Test: ds,
+		Arms: []Arm{{Name: "a", Recommend: junk}, {Name: "b", Recommend: junk}},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Total().Count() == 0 {
+		t.Error("no latency samples recorded")
+	}
+	var imps int
+	for _, a := range res.Arms {
+		imps += a.Impressions
+	}
+	if got := res.Latency.Total().Count(); got != uint64(imps) {
+		t.Errorf("latency samples = %d, impressions = %d", got, imps)
+	}
+}
+
+func TestDailySignificanceTrajectory(t *testing.T) {
+	ds := testDataset(t)
+	res, err := Run(Config{
+		Test: ds,
+		Arms: []Arm{
+			{Name: "control-junk", Recommend: junk},
+			{Name: "treatment-oracle", Recommend: oracle(ds)},
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Daily) != 1 {
+		t.Fatalf("daily trajectories = %d, want 1", len(res.Daily))
+	}
+	d := res.Daily[0]
+	if d.Arm != "treatment-oracle" {
+		t.Errorf("arm = %q", d.Arm)
+	}
+	if len(d.PValues) == 0 {
+		t.Fatal("no daily p-values")
+	}
+	for _, p := range d.PValues {
+		if p < 0 || p > 1 {
+			t.Errorf("p-value %v out of range", p)
+		}
+	}
+	// An oracle-vs-junk test must eventually become significant, and its
+	// final cumulative p-value must match the overall comparison.
+	if d.FirstSignificantDay == 0 {
+		t.Error("oracle treatment never reached significance")
+	}
+	final := d.PValues[len(d.PValues)-1]
+	if math.Abs(final-res.Comparisons[0].PValue) > 1e-12 {
+		t.Errorf("final daily p %v != overall p %v", final, res.Comparisons[0].PValue)
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	a := []core.ScoredItem{{Item: 1}, {Item: 2}, {Item: 3}}
+	b := []core.ScoredItem{{Item: 3}, {Item: 4}}
+	if got := overlapFraction(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("overlap = %v, want 1/3", got)
+	}
+	if overlapFraction(nil, b) != 0 || overlapFraction(a, nil) != 0 {
+		t.Error("empty overlap must be 0")
+	}
+	if got := overlapFraction(a, a); got != 1 {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+}
+
+func TestTwoProportionZTest(t *testing.T) {
+	// Identical proportions: p-value ~ 1.
+	if p := TwoProportionZTest(50, 1000, 50, 1000); p < 0.99 {
+		t.Errorf("equal proportions p = %v, want ~1", p)
+	}
+	// Clearly different proportions: p ~ 0.
+	if p := TwoProportionZTest(200, 1000, 50, 1000); p > 1e-6 {
+		t.Errorf("different proportions p = %v, want ~0", p)
+	}
+	// Degenerate inputs.
+	if p := TwoProportionZTest(0, 0, 5, 10); p != 1 {
+		t.Errorf("zero-n p = %v, want 1", p)
+	}
+	if p := TwoProportionZTest(0, 10, 0, 10); p != 1 {
+		t.Errorf("zero-variance p = %v, want 1", p)
+	}
+	// Symmetry.
+	p1 := TwoProportionZTest(60, 1000, 45, 1000)
+	p2 := TwoProportionZTest(45, 1000, 60, 1000)
+	if math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("z-test not symmetric: %v vs %v", p1, p2)
+	}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"serenade/internal/core"
+	"serenade/internal/serving"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Node("key"); ok {
+		t.Error("empty ring returned a node")
+	}
+	if len(r.Nodes()) != 0 {
+		t.Error("empty ring has nodes")
+	}
+}
+
+func TestRingDeterministicRouting(t *testing.T) {
+	r := NewRing(32)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		n1, _ := r.Node(key)
+		n2, _ := r.Node(key)
+		if n1 != n2 {
+			t.Fatalf("routing of %q not deterministic: %s vs %s", key, n1, n2)
+		}
+	}
+}
+
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("a")
+	if got := len(r.Nodes()); got != 1 {
+		t.Errorf("nodes = %d, want 1", got)
+	}
+}
+
+func TestRingRemoveUnknownNoop(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Remove("zzz")
+	if _, ok := r.Node("k"); !ok {
+		t.Error("ring broke after removing unknown node")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(128)
+	nodes := []string{"a", "b", "c", "d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		n, _ := r.Node(fmt.Sprintf("session-%d", i))
+		counts[n]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys, want roughly balanced", n, share*100)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one node must only remap the keys it
+// owned; every other key keeps its node.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.Add(n)
+	}
+	before := map[string]string{}
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("s%d", i)
+		before[k], _ = r.Node(k)
+	}
+	r.Remove("b")
+	moved := 0
+	for k, prev := range before {
+		now, _ := r.Node(k)
+		if prev == "b" {
+			if now == "b" {
+				t.Fatalf("key %s still routed to removed node", k)
+			}
+			continue
+		}
+		if now != prev {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node were remapped", moved)
+	}
+}
+
+// TestRingRoutingProperty: any key routes to some live node, for arbitrary
+// membership sequences.
+func TestRingRoutingProperty(t *testing.T) {
+	prop := func(ops []uint8, keySeed []uint8) bool {
+		r := NewRing(16)
+		live := map[string]bool{}
+		for _, op := range ops {
+			node := fmt.Sprintf("n%d", op%6)
+			if op%2 == 0 {
+				r.Add(node)
+				live[node] = true
+			} else {
+				r.Remove(node)
+				delete(live, node)
+			}
+		}
+		for _, ks := range keySeed {
+			key := fmt.Sprintf("k%d", ks)
+			node, ok := r.Node(key)
+			if ok != (len(live) > 0) {
+				return false
+			}
+			if ok && !live[node] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testPool(t *testing.T, n int) *Pool {
+	t.Helper()
+	ds, err := synth.Generate(synth.Small(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(idx, serving.Config{Params: core.Params{M: 100, K: 50}}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPoolRejectsZeroReplicas(t *testing.T) {
+	if _, err := NewPool(nil, serving.Config{}, 0); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+func TestPoolStickiness(t *testing.T) {
+	p := testPool(t, 3)
+	// Issue several updates for one session; the state must accumulate on
+	// exactly one replica.
+	for i := 1; i <= 4; i++ {
+		resp, err := p.Recommend(serving.Request{SessionKey: "sticky", Item: sessions.ItemID(i), Consent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.SessionLength != i {
+			t.Fatalf("request %d: session length %d, want %d (state split across replicas?)", i, resp.SessionLength, i)
+		}
+	}
+	owner, _ := p.Route("sticky")
+	withState := 0
+	for _, name := range p.Replicas() {
+		srv, _ := p.Replica(name)
+		if _, ok := srv.SessionState("sticky"); ok {
+			withState++
+			if name != owner {
+				t.Errorf("session state on %s, but router owner is %s", name, owner)
+			}
+		}
+	}
+	if withState != 1 {
+		t.Errorf("session state present on %d replicas, want exactly 1", withState)
+	}
+}
+
+func TestPoolSpreadsSessions(t *testing.T) {
+	p := testPool(t, 2)
+	counts := map[string]int{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		node, _ := p.Route(key)
+		counts[node]++
+	}
+	for node, c := range counts {
+		if c == 0 || c == 500 {
+			t.Errorf("replica %s owns %d of 500 sessions, want a spread", node, c)
+		}
+	}
+}
+
+func TestPoolReplicaLoss(t *testing.T) {
+	p := testPool(t, 2)
+	// Fill sessions on both replicas.
+	for i := 0; i < 50; i++ {
+		p.Recommend(serving.Request{SessionKey: fmt.Sprintf("u%d", i), Item: 1, Consent: true})
+	}
+	victim := p.Replicas()[0]
+	if err := p.RemoveReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	// All sessions must still be servable (possibly with fresh state).
+	for i := 0; i < 50; i++ {
+		if _, err := p.Recommend(serving.Request{SessionKey: fmt.Sprintf("u%d", i), Item: 2, Consent: true}); err != nil {
+			t.Fatalf("request after replica loss failed: %v", err)
+		}
+	}
+	if err := p.RemoveReplica(victim); err == nil {
+		t.Error("removing an already-removed replica succeeded")
+	}
+}
+
+func TestPoolAddReplicaDuplicate(t *testing.T) {
+	p := testPool(t, 1)
+	if err := p.AddReplica("pod-0"); err == nil {
+		t.Error("duplicate replica name accepted")
+	}
+}
+
+func TestPoolNoReplicas(t *testing.T) {
+	p := testPool(t, 1)
+	p.RemoveReplica("pod-0")
+	if _, err := p.Recommend(serving.Request{SessionKey: "u", Item: 1, Consent: true}); err == nil {
+		t.Error("recommend with no replicas succeeded")
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+)
+
+// Proxy is an HTTP reverse proxy with sticky-session routing: every request
+// is forwarded to the backend owning its session key on the consistent-hash
+// ring. It models the istio sidecar / Kubernetes session-affinity layer in
+// front of the Serenade pods (§4.2) for deployments where the replicas are
+// separate processes.
+//
+// The session key is taken from the `session_id` query parameter or, when
+// absent, the X-Session-Id header (for POST bodies the proxy must not
+// consume). Requests without a key are rejected, since affinity is the
+// correctness contract of the stateful servers.
+type Proxy struct {
+	mu       sync.RWMutex
+	ring     *Ring
+	backends map[string]*httputil.ReverseProxy
+}
+
+// NewProxy returns a proxy with no backends.
+func NewProxy() *Proxy {
+	return &Proxy{
+		ring:     NewRing(0),
+		backends: make(map[string]*httputil.ReverseProxy),
+	}
+}
+
+// AddBackend registers a named backend serving at target. Adding an
+// existing name replaces its target.
+func (p *Proxy) AddBackend(name string, target *url.URL) {
+	rp := httputil.NewSingleHostReverseProxy(target)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.backends[name]; !exists {
+		p.ring.Add(name)
+	}
+	p.backends[name] = rp
+}
+
+// RemoveBackend deregisters a backend; its sessions remap to the remaining
+// ones (losing their server-side state, the accepted trade-off of §4.2).
+func (p *Proxy) RemoveBackend(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ring.Remove(name)
+	delete(p.backends, name)
+}
+
+// Backends lists registered backend names.
+func (p *Proxy) Backends() []string { return p.ring.Nodes() }
+
+// SessionKey extracts the affinity key from a request.
+func SessionKey(r *http.Request) string {
+	if key := r.URL.Query().Get("session_id"); key != "" {
+		return key
+	}
+	return r.Header.Get("X-Session-Id")
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := SessionKey(r)
+	if key == "" {
+		http.Error(w, "session_id query parameter or X-Session-Id header required", http.StatusBadRequest)
+		return
+	}
+	p.mu.RLock()
+	name, ok := p.ring.Node(key)
+	var backend *httputil.ReverseProxy
+	if ok {
+		backend = p.backends[name]
+	}
+	p.mu.RUnlock()
+	if backend == nil {
+		http.Error(w, "no backends available", http.StatusServiceUnavailable)
+		return
+	}
+	backend.ServeHTTP(w, r)
+}

@@ -1,0 +1,115 @@
+// Package cluster provides sticky-session request routing over a pool of
+// stateful recommendation servers.
+//
+// The paper colocates each evolving session with a single serving pod by
+// partitioning requests on the session identifier, implemented in production
+// with Kubernetes session affinity and istio sidecars (§4.1-4.2). Here the
+// same guarantee — every request of a session is handled by the same
+// stateful replica — is provided by a consistent-hash ring with virtual
+// nodes, so that adding or removing a replica only remaps a 1/n fraction of
+// the sessions (the paper's trade-off discussion: losing a slice of session
+// state on scaling events is acceptable because sessions are short-lived).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over named nodes. It is safe for
+// concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu     sync.RWMutex
+	hashes []uint32          // sorted virtual node positions
+	owner  map[uint32]string // virtual node position -> node name
+	nodes  map[string]struct{}
+}
+
+// NewRing creates a ring with the given virtual nodes per physical node.
+// vnodes <= 0 selects a default of 64.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{
+		vnodes: vnodes,
+		owner:  make(map[uint32]string),
+		nodes:  make(map[string]struct{}),
+	}
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// Add inserts a node. Adding an existing node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for v := 0; v < r.vnodes; v++ {
+		h := hash32(fmt.Sprintf("%s#%d", node, v))
+		if _, taken := r.owner[h]; taken {
+			continue // vanishingly rare collision: skip this virtual node
+		}
+		r.owner[h] = node
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Remove deletes a node. Removing an unknown node is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.hashes[:0]
+	for _, h := range r.hashes {
+		if r.owner[h] == node {
+			delete(r.owner, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.hashes = kept
+}
+
+// Nodes returns the current node names in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Node returns the node owning key. The second result is false when the
+// ring is empty.
+func (r *Ring) Node(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return "", false
+	}
+	h := hash32(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[r.hashes[i]], true
+}

@@ -1,0 +1,7 @@
+package compressed
+
+import "fmt"
+
+func errMExceedsCapacity(m, capacity int) error {
+	return fmt.Errorf("compressed: M (%d) exceeds the index posting-list capacity (%d)", m, capacity)
+}

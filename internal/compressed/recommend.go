@@ -1,0 +1,199 @@
+package compressed
+
+import (
+	"serenade/internal/core"
+	"serenade/internal/dheap"
+	"serenade/internal/sessions"
+)
+
+// Recommender executes VMIS-kNN (Algorithm 2) directly over the compressed
+// index: posting lists are decoded lazily through cursors, so early
+// stopping skips decoding the old tail of each list. Semantics are
+// identical to core.Recommender — the equivalence is property-tested.
+// A Recommender reuses buffers and is not safe for concurrent use; create
+// one per goroutine with Clone.
+type Recommender struct {
+	idx *Index
+	p   core.Params
+
+	r       map[sessions.SessionID]accum
+	dup     map[sessions.ItemID]struct{}
+	bt      *dheap.Heap[btEntry]
+	topk    *dheap.Bounded[core.Neighbor]
+	scores  map[sessions.ItemID]float64
+	itemBuf []sessions.ItemID
+	outH    *dheap.Bounded[core.ScoredItem]
+	outCap  int
+}
+
+type accum struct {
+	score  float64
+	maxPos int32
+}
+
+type btEntry struct {
+	id   sessions.SessionID
+	time int64
+}
+
+// NewRecommender validates parameters and returns a query executor over the
+// compressed index.
+func NewRecommender(idx *Index, p core.Params) (*Recommender, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if idx.capacity > 0 && p.M > idx.capacity {
+		return nil, errMExceedsCapacity(p.M, idx.capacity)
+	}
+	p = withDefaults(p)
+	r := &Recommender{
+		idx:    idx,
+		p:      p,
+		r:      make(map[sessions.SessionID]accum, p.M),
+		dup:    make(map[sessions.ItemID]struct{}, p.MaxSessionLength),
+		scores: make(map[sessions.ItemID]float64, 256),
+	}
+	r.bt = dheap.NewWithCapacity(p.HeapArity, p.M, func(a, b btEntry) bool { return a.time < b.time })
+	r.topk = dheap.NewBounded(p.HeapArity, p.K, neighborLess)
+	return r, nil
+}
+
+func withDefaults(p core.Params) core.Params {
+	if p.MaxSessionLength <= 0 {
+		p.MaxSessionLength = core.DefaultMaxSessionLength
+	}
+	if p.Decay == nil {
+		p.Decay = core.LinearDecay
+	}
+	if p.MatchWeight == nil {
+		p.MatchWeight = core.LinearMatchWeight
+	}
+	if p.HeapArity == 0 {
+		p.HeapArity = 8
+	}
+	return p
+}
+
+func neighborLess(a, b core.Neighbor) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Time < b.Time
+}
+
+// Clone returns an independent Recommender sharing the immutable index.
+func (r *Recommender) Clone() *Recommender {
+	c, err := NewRecommender(r.idx, r.p)
+	if err != nil {
+		panic("compressed: Clone failed: " + err.Error())
+	}
+	return c
+}
+
+// NeighborSessions computes the k most similar historical sessions.
+func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []core.Neighbor {
+	s := evolving
+	if len(s) > r.p.MaxSessionLength {
+		s = s[len(s)-r.p.MaxSessionLength:]
+	}
+	length := len(s)
+
+	clear(r.r)
+	clear(r.dup)
+	r.bt.Reset()
+	r.topk.Reset()
+
+	for pos := length; pos >= 1; pos-- {
+		item := s[pos-1]
+		if _, dup := r.dup[item]; dup {
+			continue
+		}
+		r.dup[item] = struct{}{}
+		cursor := r.idx.postings(item)
+		pi := r.p.Decay(pos, length)
+
+		for {
+			j, ok := cursor.next()
+			if !ok {
+				break
+			}
+			if acc, ok := r.r[j]; ok {
+				acc.score += pi
+				r.r[j] = acc
+				continue
+			}
+			tj := r.idx.times[j]
+			if len(r.r) < r.p.M {
+				r.r[j] = accum{score: pi, maxPos: int32(pos)}
+				r.bt.Push(btEntry{id: j, time: tj})
+				continue
+			}
+			oldest, _ := r.bt.Peek()
+			if tj > oldest.time {
+				delete(r.r, oldest.id)
+				r.r[j] = accum{score: pi, maxPos: int32(pos)}
+				r.bt.ReplaceRoot(btEntry{id: j, time: tj})
+				continue
+			}
+			if !r.p.DisableEarlyStopping {
+				// Early stopping also ends *decoding* this posting list.
+				break
+			}
+		}
+	}
+
+	for j, acc := range r.r {
+		r.topk.Offer(core.Neighbor{
+			ID:     j,
+			Score:  acc.score,
+			MaxPos: int(acc.maxPos),
+			Time:   r.idx.times[j],
+		})
+	}
+	return r.topk.DrainDescending()
+}
+
+// Recommend computes the top-n next-item recommendations.
+func (r *Recommender) Recommend(evolving []sessions.ItemID, n int) []core.ScoredItem {
+	if n <= 0 || len(evolving) == 0 {
+		return nil
+	}
+	neighbors := r.NeighborSessions(evolving)
+	if len(neighbors) == 0 {
+		return nil
+	}
+	clear(r.scores)
+	for _, nb := range neighbors {
+		w := r.p.MatchWeight(nb.MaxPos) * nb.Score
+		if w == 0 {
+			continue
+		}
+		r.itemBuf = r.idx.sessionItemsInto(nb.ID, r.itemBuf)
+		for _, item := range r.itemBuf {
+			r.scores[item] += w * r.idx.idf[item]
+		}
+	}
+	if r.outH == nil || r.outCap != n {
+		r.outH = dheap.NewBounded(r.p.HeapArity, n, scoredItemLess)
+		r.outCap = n
+	} else {
+		r.outH.Reset()
+	}
+	for item, score := range r.scores {
+		if score > 0 {
+			r.outH.Offer(core.ScoredItem{Item: item, Score: score})
+		}
+	}
+	out := r.outH.DrainDescending()
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func scoredItemLess(a, b core.ScoredItem) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"serenade/internal/sessions"
+)
+
+// TestEmptyIndexLifecycle: a freshly deployed system has no historical
+// sessions yet; every operation must degrade gracefully rather than panic.
+func TestEmptyIndexLifecycle(t *testing.T) {
+	idx, err := BuildIndex(sessions.FromSessions("empty", nil), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumSessions() != 0 || idx.NumItems() != 0 {
+		t.Fatalf("empty index has sessions=%d items=%d", idx.NumSessions(), idx.NumItems())
+	}
+	r, err := NewRecommender(idx, Params{M: 10, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Recommend([]sessions.ItemID{1, 2, 3}, 21); got != nil {
+		t.Errorf("recommendations from an empty index: %v", got)
+	}
+	if got := r.NeighborSessions([]sessions.ItemID{1}); len(got) != 0 {
+		t.Errorf("neighbours from an empty index: %v", got)
+	}
+	if _, ok := r.Explain([]sessions.ItemID{1}, 2); ok {
+		t.Error("explanation from an empty index")
+	}
+	if idx.MemoryFootprint() < 0 {
+		t.Error("negative footprint")
+	}
+}
+
+// TestSingleSessionIndex: the minimal non-empty index.
+func TestSingleSessionIndex(t *testing.T) {
+	ds := sessions.FromSessions("one", []sessions.Session{
+		{ID: 0, Items: []sessions.ItemID{3, 4}, Times: []int64{10, 20}},
+	})
+	idx, err := BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecommender(idx, Params{M: 5, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// idf = log(1/1) = 0 for both items, so no recommendations — but the
+	// neighbour machinery must still find the session.
+	if ns := r.NeighborSessions([]sessions.ItemID{3}); len(ns) != 1 {
+		t.Errorf("neighbours = %v, want the single session", ns)
+	}
+	if recs := r.Recommend([]sessions.ItemID{3}, 5); recs != nil {
+		t.Errorf("recommendations with zero idf: %v", recs)
+	}
+}

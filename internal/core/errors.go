@@ -1,0 +1,15 @@
+package core
+
+import "fmt"
+
+func errBadParam(name string, v int) error {
+	return fmt.Errorf("core: parameter %s = %d is invalid", name, v)
+}
+
+func errKExceedsM(k, m int) error {
+	return fmt.Errorf("core: K (%d) must not exceed M (%d): neighbours are drawn from the recency sample", k, m)
+}
+
+func errMExceedsCapacity(m, capacity int) error {
+	return fmt.Errorf("core: M (%d) exceeds the index posting-list capacity (%d): rebuild the index with a larger capacity", m, capacity)
+}

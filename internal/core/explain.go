@@ -1,0 +1,86 @@
+package core
+
+import "serenade/internal/sessions"
+
+// Contribution is one neighbour session's share of a recommended item's
+// score.
+type Contribution struct {
+	// Session is the contributing historical session.
+	Session sessions.SessionID
+	// Similarity is the session similarity r_n from the item intersection
+	// loop.
+	Similarity float64
+	// MatchWeight is λ(maxPos): the weight of the most recent shared item's
+	// position.
+	MatchWeight float64
+	// SharedItems are the items the evolving session (truncated window)
+	// shares with this neighbour.
+	SharedItems []sessions.ItemID
+	// Amount is this neighbour's addition to the item score:
+	// MatchWeight · Similarity · idf(item).
+	Amount float64
+}
+
+// Explanation attributes a recommended item's score to the neighbour
+// sessions that produced it — the answer to "why was this item
+// recommended?" that production debugging and merchandising reviews need.
+type Explanation struct {
+	Item  sessions.ItemID
+	Score float64
+	// IDF is the item weight log(|H|/h_i) shared by every contribution.
+	IDF           float64
+	Contributions []Contribution
+}
+
+// Explain recomputes the recommendation for the evolving session and breaks
+// down the given item's score by neighbour session. The second result is
+// false when the item receives no score (it occurs in no neighbour session,
+// or its idf is zero). Explain is intended for debugging endpoints, not the
+// hot path: it allocates its result.
+func (r *Recommender) Explain(evolving []sessions.ItemID, item sessions.ItemID) (Explanation, bool) {
+	ex := Explanation{Item: item, IDF: r.idx.IDF(item)}
+	if len(evolving) == 0 || ex.IDF == 0 {
+		return ex, false
+	}
+	neighbors := r.NeighborSessions(evolving)
+	if len(neighbors) == 0 {
+		return ex, false
+	}
+
+	window := r.truncate(evolving)
+	inWindow := make(map[sessions.ItemID]struct{}, len(window))
+	for _, it := range window {
+		inWindow[it] = struct{}{}
+	}
+
+	for _, nb := range neighbors {
+		items := r.idx.SessionItems(nb.ID)
+		contains := false
+		var shared []sessions.ItemID
+		for _, it := range items {
+			if it == item {
+				contains = true
+			}
+			if _, ok := inWindow[it]; ok {
+				shared = append(shared, it)
+			}
+		}
+		if !contains {
+			continue
+		}
+		w := r.p.MatchWeight(nb.MaxPos)
+		amount := w * nb.Score * ex.IDF
+		if amount == 0 {
+			continue
+		}
+		ex.Contributions = append(ex.Contributions, Contribution{
+			Session:     nb.ID,
+			Similarity:  nb.Score,
+			MatchWeight: w,
+			SharedItems: shared,
+			Amount:      amount,
+		})
+		ex.Score += amount
+	}
+	return ex, len(ex.Contributions) > 0
+}

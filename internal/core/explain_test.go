@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serenade/internal/sessions"
+)
+
+func TestExplainToyExample(t *testing.T) {
+	ds := buildDataset(t, [][]sessions.ItemID{
+		{2, 4},    // the matching historical session
+		{9, 8, 7}, // filler for non-zero idf
+	})
+	idx := mustIndex(t, ds, 0)
+	r := mustRecommender(t, idx, Params{M: 10, K: 10})
+
+	evolving := []sessions.ItemID{1, 2, 4}
+	ex, ok := r.Explain(evolving, 4)
+	if !ok {
+		t.Fatal("no explanation for a recommended item")
+	}
+	if len(ex.Contributions) != 1 {
+		t.Fatalf("contributions = %d, want 1", len(ex.Contributions))
+	}
+	c := ex.Contributions[0]
+	if c.Session != 0 {
+		t.Errorf("contributing session = %d, want 0", c.Session)
+	}
+	if want := 5.0 / 3.0; math.Abs(c.Similarity-want) > 1e-12 {
+		t.Errorf("similarity = %v, want 5/3", c.Similarity)
+	}
+	if math.Abs(c.MatchWeight-0.7) > 1e-12 {
+		t.Errorf("match weight = %v, want λ(3)=0.7", c.MatchWeight)
+	}
+	if len(c.SharedItems) != 2 {
+		t.Errorf("shared items = %v, want items 2 and 4", c.SharedItems)
+	}
+	if math.Abs(ex.Score-c.Amount) > 1e-12 {
+		t.Errorf("score %v != sum of contributions %v", ex.Score, c.Amount)
+	}
+}
+
+// TestExplainMatchesRecommendScores: for every recommended item, the
+// explanation's score must equal the score Recommend produced.
+func TestExplainMatchesRecommendScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ds := randomDataset(rng, 300, 60)
+	idx := mustIndex(t, ds, 0)
+	r := mustRecommender(t, idx, Params{M: 50, K: 20})
+
+	for trial := 0; trial < 50; trial++ {
+		evolving := randomEvolving(rng, 60)
+		recs := r.Recommend(evolving, 10)
+		for _, rec := range recs {
+			ex, ok := r.Explain(evolving, rec.Item)
+			if !ok {
+				t.Fatalf("no explanation for recommended item %d", rec.Item)
+			}
+			if math.Abs(ex.Score-rec.Score) > 1e-9 {
+				t.Fatalf("explanation score %v != recommendation score %v for item %d",
+					ex.Score, rec.Score, rec.Item)
+			}
+			for _, c := range ex.Contributions {
+				if len(c.SharedItems) == 0 {
+					t.Fatalf("contribution from session %d shares no items", c.Session)
+				}
+			}
+		}
+	}
+}
+
+func TestExplainNegativeCases(t *testing.T) {
+	ds := buildDataset(t, [][]sessions.ItemID{{1, 2}, {2, 3}})
+	idx := mustIndex(t, ds, 0)
+	r := mustRecommender(t, idx, Params{M: 10, K: 10})
+
+	if _, ok := r.Explain(nil, 2); ok {
+		t.Error("explanation for empty session")
+	}
+	if _, ok := r.Explain([]sessions.ItemID{1}, 999); ok {
+		t.Error("explanation for unknown item")
+	}
+	// Item 2 occurs in every session -> idf 0 -> never recommended.
+	if _, ok := r.Explain([]sessions.ItemID{1}, 2); ok {
+		t.Error("explanation for zero-idf item")
+	}
+}

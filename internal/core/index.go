@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"serenade/internal/sessions"
+)
+
+// Index is the VMIS-kNN session similarity index (M, t) of §3:
+//
+//   - a posting list M mapping each item to the identifiers of the most
+//     recent historical sessions containing it, in descending session
+//     timestamp order and truncated to the index capacity, giving amortised
+//     constant-time access to the m most recent sessions per item;
+//   - a dense timestamp array t giving constant-time random access to the
+//     timestamp of any historical session;
+//   - the per-session item sets needed to score the items of neighbour
+//     sessions, and the precomputed inverse document frequencies
+//     log(|H|/h_i) used as item weights.
+//
+// Historical session identifiers are consecutive integers assigned in
+// ascending timestamp order (see sessions.Renumber), so a session id doubles
+// as an index into the timestamp array and ordering by id equals ordering by
+// recency. An Index is immutable after construction and safe for concurrent
+// readers.
+type Index struct {
+	numSessions int
+	numItems    int
+	capacity    int
+	times       []int64
+	postings    [][]sessions.SessionID
+	sessionItem [][]sessions.ItemID
+	df          []int32
+	idf         []float64
+}
+
+// BuildIndex constructs the index from a dataset whose session ids are
+// dense and ascend with session timestamp (use sessions.Renumber first).
+// capacity bounds the posting list length per item — it must be at least the
+// largest sample size m that will be queried; capacity <= 0 keeps complete
+// posting lists.
+func BuildIndex(ds *sessions.Dataset, capacity int) (*Index, error) {
+	n := len(ds.Sessions)
+	for i := range ds.Sessions {
+		if ds.Sessions[i].ID != sessions.SessionID(i) {
+			return nil, fmt.Errorf("core: session ids must be dense, got %d at position %d (renumber the dataset first)", ds.Sessions[i].ID, i)
+		}
+		if i > 0 && ds.Sessions[i].Time() < ds.Sessions[i-1].Time() {
+			return nil, fmt.Errorf("core: session %d is older than its predecessor (renumber the dataset first)", i)
+		}
+	}
+
+	idx := &Index{
+		numSessions: n,
+		numItems:    ds.NumItems,
+		capacity:    capacity,
+		times:       make([]int64, n),
+		postings:    make([][]sessions.SessionID, ds.NumItems),
+		sessionItem: make([][]sessions.ItemID, n),
+		df:          make([]int32, ds.NumItems),
+		idf:         make([]float64, ds.NumItems),
+	}
+
+	// One ascending pass over sessions appends each session once to the
+	// posting list of each of its distinct items; reversing afterwards
+	// yields descending-timestamp posting lists.
+	seen := make(map[sessions.ItemID]struct{}, 16)
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		idx.times[i] = s.Time()
+		clear(seen)
+		unique := make([]sessions.ItemID, 0, len(s.Items))
+		for _, it := range s.Items {
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			unique = append(unique, it)
+			idx.postings[it] = append(idx.postings[it], sessions.SessionID(i))
+		}
+		idx.sessionItem[i] = unique
+	}
+
+	for item, list := range idx.postings {
+		idx.df[item] = int32(len(list))
+		reverse(list)
+		if capacity > 0 && len(list) > capacity {
+			idx.postings[item] = list[:capacity:capacity]
+		}
+	}
+	idx.computeIDF()
+	return idx, nil
+}
+
+// NewIndexFromParts assembles an index from its serialised components,
+// recomputing the derived inverse document frequencies. It validates the
+// structural invariants that Recommend relies on.
+func NewIndexFromParts(times []int64, postings [][]sessions.SessionID, sessionItems [][]sessions.ItemID, df []int32, capacity int) (*Index, error) {
+	if len(postings) != len(df) {
+		return nil, fmt.Errorf("core: postings (%d) and document frequencies (%d) disagree on item count", len(postings), len(df))
+	}
+	if len(times) != len(sessionItems) {
+		return nil, fmt.Errorf("core: timestamps (%d) and session items (%d) disagree on session count", len(times), len(sessionItems))
+	}
+	n := len(times)
+	for item, list := range postings {
+		for k, sid := range list {
+			if int(sid) >= n {
+				return nil, fmt.Errorf("core: posting list of item %d references unknown session %d", item, sid)
+			}
+			if k > 0 && times[list[k-1]] < times[sid] {
+				return nil, fmt.Errorf("core: posting list of item %d is not in descending timestamp order", item)
+			}
+		}
+	}
+	idx := &Index{
+		numSessions: n,
+		numItems:    len(postings),
+		capacity:    capacity,
+		times:       times,
+		postings:    postings,
+		sessionItem: sessionItems,
+		df:          df,
+		idf:         make([]float64, len(postings)),
+	}
+	idx.computeIDF()
+	return idx, nil
+}
+
+func (idx *Index) computeIDF() {
+	for item, f := range idx.df {
+		if f > 0 {
+			idx.idf[item] = math.Log(float64(idx.numSessions) / float64(f))
+		}
+	}
+}
+
+func reverse[T any](xs []T) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// NumSessions reports the number of indexed historical sessions |H|.
+func (idx *Index) NumSessions() int { return idx.numSessions }
+
+// NumItems reports the dense item-id space size.
+func (idx *Index) NumItems() int { return idx.numItems }
+
+// Capacity reports the posting-list truncation bound (0 = unbounded).
+func (idx *Index) Capacity() int { return idx.capacity }
+
+// Postings returns the posting list m_i for an item: the most recent
+// sessions containing it, most recent first. The returned slice is shared
+// and must not be modified. Unknown items yield nil.
+func (idx *Index) Postings(item sessions.ItemID) []sessions.SessionID {
+	if int(item) >= len(idx.postings) {
+		return nil
+	}
+	return idx.postings[item]
+}
+
+// Time returns the timestamp t_h of a historical session.
+func (idx *Index) Time(s sessions.SessionID) int64 { return idx.times[s] }
+
+// Times returns the dense session timestamp array (shared, read-only).
+func (idx *Index) Times() []int64 { return idx.times }
+
+// SessionItems returns the distinct items of a historical session in first
+// occurrence order (shared, read-only).
+func (idx *Index) SessionItems(s sessions.SessionID) []sessions.ItemID {
+	return idx.sessionItem[s]
+}
+
+// DF returns the document frequency h_i: the number of historical sessions
+// containing the item (before posting-list truncation).
+func (idx *Index) DF(item sessions.ItemID) int {
+	if int(item) >= len(idx.df) {
+		return 0
+	}
+	return int(idx.df[item])
+}
+
+// IDF returns the precomputed weight log(|H|/h_i) (0 for unseen items).
+func (idx *Index) IDF(item sessions.ItemID) float64 {
+	if int(item) >= len(idx.idf) {
+		return 0
+	}
+	return idx.idf[item]
+}
+
+// MemoryFootprint estimates the index's in-memory size in bytes, the number
+// the paper quotes as "around 13 gigabytes" for its production index.
+func (idx *Index) MemoryFootprint() int64 {
+	var b int64
+	b += int64(len(idx.times)) * 8
+	b += int64(len(idx.df)) * 4
+	b += int64(len(idx.idf)) * 8
+	for _, p := range idx.postings {
+		b += int64(len(p))*4 + 24
+	}
+	for _, s := range idx.sessionItem {
+		b += int64(len(s))*4 + 24
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"serenade/internal/sessions"
+)
+
+// TestRecommendInvariantsProperty checks the output contract on random
+// datasets and queries: at most n results, strictly positive scores,
+// descending order with deterministic tie-breaks, no duplicate items, and
+// never the full-idf-zero degenerate cases.
+func TestRecommendInvariantsProperty(t *testing.T) {
+	prop := func(seed int64, mSeed, kSeed, nSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 100+rng.Intn(200), 20+rng.Intn(40))
+		idx, err := BuildIndex(ds, 0)
+		if err != nil {
+			return false
+		}
+		m := int(mSeed)%50 + 1
+		k := int(kSeed)%m + 1
+		n := int(nSeed)%30 + 1
+		rec, err := NewRecommender(idx, Params{M: m, K: k})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := randomEvolving(rng, 60)
+			out := rec.Recommend(q, n)
+			if len(out) > n {
+				return false
+			}
+			seen := map[sessions.ItemID]struct{}{}
+			for i, s := range out {
+				if s.Score <= 0 || math.IsNaN(s.Score) || math.IsInf(s.Score, 0) {
+					return false
+				}
+				if _, dup := seen[s.Item]; dup {
+					return false
+				}
+				seen[s.Item] = struct{}{}
+				if i > 0 {
+					prev := out[i-1]
+					if s.Score > prev.Score {
+						return false
+					}
+					if s.Score == prev.Score && s.Item < prev.Item {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNeighborInvariantsProperty: at most k neighbours, all with positive
+// similarity, valid session ids and match positions inside the truncated
+// window.
+func TestNeighborInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 150, 30)
+		idx, err := BuildIndex(ds, 0)
+		if err != nil {
+			return false
+		}
+		rec, err := NewRecommender(idx, Params{M: 20, K: 7})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := randomEvolving(rng, 40)
+			ns := rec.NeighborSessions(q)
+			if len(ns) > 7 {
+				return false
+			}
+			window := len(q)
+			if window > DefaultMaxSessionLength {
+				window = DefaultMaxSessionLength
+			}
+			for i, nb := range ns {
+				if nb.Score <= 0 || int(nb.ID) >= idx.NumSessions() {
+					return false
+				}
+				if nb.MaxPos < 1 || nb.MaxPos > window {
+					return false
+				}
+				if nb.Time != idx.Time(nb.ID) {
+					return false
+				}
+				if i > 0 && nb.Score > ns[i-1].Score {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotoneMProperty: growing the recency sample can only widen the
+// candidate set — every neighbour found with a smaller m must score at
+// least as high with a larger m (its accumulated similarity cannot shrink).
+func TestMonotoneMProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ds := randomDataset(rng, 250, 40)
+	idx, err := BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := NewRecommender(idx, Params{M: 10, K: 10})
+	large, _ := NewRecommender(idx, Params{M: 100, K: 100})
+	for trial := 0; trial < 100; trial++ {
+		q := randomEvolving(rng, 40)
+		smallNs := append([]Neighbor(nil), small.NeighborSessions(q)...)
+		largeNs := large.NeighborSessions(q)
+		byID := map[sessions.SessionID]float64{}
+		for _, nb := range largeNs {
+			byID[nb.ID] = nb.Score
+		}
+		for _, nb := range smallNs {
+			if ls, ok := byID[nb.ID]; ok && ls < nb.Score-1e-12 {
+				t.Fatalf("session %d scored %v with m=10 but %v with m=100", nb.ID, nb.Score, ls)
+			}
+		}
+	}
+}

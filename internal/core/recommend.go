@@ -1,0 +1,233 @@
+package core
+
+import (
+	"serenade/internal/dheap"
+	"serenade/internal/sessions"
+)
+
+// Neighbor is one of the k historical sessions most similar to the evolving
+// session.
+type Neighbor struct {
+	ID sessions.SessionID
+	// Score is the decayed dot-product similarity r_n accumulated during
+	// the item intersection loop.
+	Score float64
+	// MaxPos is the 1-based insertion position (within the truncated
+	// evolving session) of the most recent item shared with this neighbour,
+	// the argument of the match weight λ.
+	MaxPos int
+	// Time is the neighbour session's timestamp, used for tie-breaking.
+	Time int64
+}
+
+// accum tracks the in-progress similarity for one candidate session in the
+// temporary hashmap r of Algorithm 2.
+type accum struct {
+	score  float64
+	maxPos int32
+}
+
+type btEntry struct {
+	id   sessions.SessionID
+	time int64
+}
+
+// Recommender executes VMIS-kNN queries against an Index. A Recommender
+// reuses internal buffers across calls and is therefore NOT safe for
+// concurrent use; create one per goroutine with Clone (the index itself is
+// shared and immutable).
+type Recommender struct {
+	idx *Index
+	p   Params
+
+	r      map[sessions.SessionID]accum
+	dup    map[sessions.ItemID]struct{}
+	bt     *dheap.Heap[btEntry]
+	topk   *dheap.Bounded[Neighbor]
+	scores map[sessions.ItemID]float64
+	outH   *dheap.Bounded[ScoredItem]
+	outCap int
+}
+
+// NewRecommender validates the parameters and returns a query executor.
+func NewRecommender(idx *Index, p Params) (*Recommender, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if idx.capacity > 0 && p.M > idx.capacity {
+		return nil, errMExceedsCapacity(p.M, idx.capacity)
+	}
+	p = p.withDefaults()
+	r := &Recommender{
+		idx:    idx,
+		p:      p,
+		r:      make(map[sessions.SessionID]accum, p.M),
+		dup:    make(map[sessions.ItemID]struct{}, p.MaxSessionLength),
+		scores: make(map[sessions.ItemID]float64, 256),
+	}
+	r.bt = dheap.NewWithCapacity(p.HeapArity, p.M, func(a, b btEntry) bool { return a.time < b.time })
+	r.topk = dheap.NewBounded(p.HeapArity, p.K, neighborLess)
+	return r, nil
+}
+
+// neighborLess orders neighbours weakest-first for the bounded top-k heap:
+// lower similarity orders first; equal similarities break ties toward the
+// older session (so the more recent session is retained), per Algorithm 2
+// lines 37-38.
+func neighborLess(a, b Neighbor) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Time < b.Time
+}
+
+// Clone returns an independent Recommender sharing the same immutable index,
+// for use from another goroutine.
+func (r *Recommender) Clone() *Recommender {
+	c, err := NewRecommender(r.idx, r.p)
+	if err != nil {
+		// The parameters were validated when r was constructed.
+		panic("core: Clone failed: " + err.Error())
+	}
+	return c
+}
+
+// Params returns the recommender's (defaulted) parameters.
+func (r *Recommender) Params() Params { return r.p }
+
+// Index returns the underlying index.
+func (r *Recommender) Index() *Index { return r.idx }
+
+// truncate returns the most recent MaxSessionLength items of the evolving
+// session.
+func (r *Recommender) truncate(evolving []sessions.ItemID) []sessions.ItemID {
+	if len(evolving) > r.p.MaxSessionLength {
+		return evolving[len(evolving)-r.p.MaxSessionLength:]
+	}
+	return evolving
+}
+
+// NeighborSessions computes the k most similar historical sessions for the
+// evolving session — the function neighbor_sessions_from_index of
+// Algorithm 2. The returned slice is ordered most similar first and is
+// valid until the next call on this Recommender.
+func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
+	s := r.truncate(evolving)
+	length := len(s)
+
+	clear(r.r)
+	clear(r.dup)
+	r.bt.Reset()
+	r.topk.Reset()
+
+	// Item intersection loop: visit evolving-session items most recent
+	// first so that the first candidate hit by a session records the most
+	// recent shared item position, and so that duplicate items keep their
+	// most recent position.
+	for pos := length; pos >= 1; pos-- {
+		item := s[pos-1]
+		if _, dup := r.dup[item]; dup {
+			continue
+		}
+		r.dup[item] = struct{}{}
+		postings := r.idx.Postings(item)
+		if len(postings) == 0 {
+			continue
+		}
+		pi := r.p.Decay(pos, length)
+
+		for _, j := range postings {
+			if acc, ok := r.r[j]; ok {
+				acc.score += pi
+				r.r[j] = acc
+				continue
+			}
+			tj := r.idx.times[j]
+			if len(r.r) < r.p.M {
+				r.r[j] = accum{score: pi, maxPos: int32(pos)}
+				r.bt.Push(btEntry{id: j, time: tj})
+				continue
+			}
+			oldest, _ := r.bt.Peek()
+			if tj > oldest.time {
+				// Evict the oldest candidate in favour of the more
+				// recent session j.
+				delete(r.r, oldest.id)
+				r.r[j] = accum{score: pi, maxPos: int32(pos)}
+				r.bt.ReplaceRoot(btEntry{id: j, time: tj})
+				continue
+			}
+			if !r.p.DisableEarlyStopping {
+				// Early stopping: postings are sorted by descending
+				// timestamp, so every remaining session in this list is
+				// at least as old as j and would be rejected too.
+				break
+			}
+		}
+	}
+
+	// Top-k similarity loop over the temporary similarity map r.
+	for j, acc := range r.r {
+		r.topk.Offer(Neighbor{
+			ID:     j,
+			Score:  acc.score,
+			MaxPos: int(acc.maxPos),
+			Time:   r.idx.times[j],
+		})
+	}
+	return r.topk.DrainDescending()
+}
+
+// Recommend computes the top-n next-item recommendations for the evolving
+// session (most recent click last). The result is ordered by descending
+// score with ties broken toward smaller item ids for determinism; it is
+// valid until the next call on this Recommender.
+func (r *Recommender) Recommend(evolving []sessions.ItemID, n int) []ScoredItem {
+	if n <= 0 || len(evolving) == 0 {
+		return nil
+	}
+	neighbors := r.NeighborSessions(evolving)
+	if len(neighbors) == 0 {
+		return nil
+	}
+
+	// Item scoring (Algorithm 2 line 6-7, with the §3 simplifications):
+	// d_i = Σ_n 1_n(i) · λ(maxPos_n) · r_n · log(|H|/h_i).
+	clear(r.scores)
+	for _, nb := range neighbors {
+		w := r.p.MatchWeight(nb.MaxPos) * nb.Score
+		if w == 0 {
+			continue
+		}
+		for _, item := range r.idx.SessionItems(nb.ID) {
+			r.scores[item] += w * r.idx.idf[item]
+		}
+	}
+
+	if r.outH == nil || r.outCap != n {
+		r.outH = dheap.NewBounded(r.p.HeapArity, n, scoredItemLess)
+		r.outCap = n
+	} else {
+		r.outH.Reset()
+	}
+	for item, score := range r.scores {
+		if score > 0 {
+			r.outH.Offer(ScoredItem{Item: item, Score: score})
+		}
+	}
+	out := r.outH.DrainDescending()
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// scoredItemLess orders output candidates weakest-first: lower score first;
+// equal scores order the larger item id first so that DrainDescending yields
+// ascending item ids within a tie.
+func scoredItemLess(a, b ScoredItem) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}

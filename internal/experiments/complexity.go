@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+// ComplexityRow is one measurement of the §3 complexity validation.
+type ComplexityRow struct {
+	// Dimension names the swept variable: "history" (|H|), "session-length"
+	// (|s|), or "sample" (m).
+	Dimension string
+	Value     int
+	Median    time.Duration
+	P90       time.Duration
+}
+
+// Complexity validates the §3 time-complexity claim experimentally: the
+// per-query cost of VMIS-kNN is O(|s|·m·log m) — linear in the evolving
+// session length and in the sample size m, and (theoretically) independent
+// of the number of historical sessions |H| and items |I|. The runner sweeps
+// each variable with the others held fixed.
+func Complexity(opts Options) ([]ComplexityRow, error) {
+	histories := []int{20_000, 40_000, 80_000, 160_000}
+	lengths := []int{1, 2, 4, 6, 9}
+	samples := []int{100, 250, 500, 1000, 2000}
+	queriesPerPoint := 4000
+	if opts.Quick {
+		histories = []int{5_000, 10_000}
+		lengths = []int{1, 4}
+		samples = []int{100, 500}
+		queriesPerPoint = 300
+	}
+
+	var rows []ComplexityRow
+	rng := rand.New(rand.NewSource(71))
+
+	// Sweep |H| with |s| and m fixed. Item count scales with the dataset,
+	// as it does in the paper's dataset family.
+	for _, h := range histories {
+		cfg := synth.Config{
+			Name: fmt.Sprintf("hist-%d", h), NumSessions: h, NumItems: h / 8,
+			Days: 30, Clusters: h / 400, ZipfS: 1.2, PStay: 0.85, RevisitProb: 0.06,
+			LengthMu: 1.3, LengthSigma: 0.9, MaxLength: 80, Seed: int64(h),
+		}
+		ds, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := core.BuildIndex(ds, 0)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := core.NewRecommender(idx, core.Params{M: 500, K: 100})
+		if err != nil {
+			return nil, err
+		}
+		times := timeFixedQueries(rec, rng, cfg.NumItems, 3, queriesPerPoint)
+		rows = append(rows, ComplexityRow{
+			Dimension: "history", Value: h,
+			Median: durationPercentile(times, 0.5), P90: durationPercentile(times, 0.9),
+		})
+	}
+
+	// A fixed mid-size dataset for the |s| and m sweeps.
+	base := synth.Config{
+		Name: "complexity-base", NumSessions: 40_000, NumItems: 5_000,
+		Days: 30, Clusters: 100, ZipfS: 1.2, PStay: 0.85, RevisitProb: 0.06,
+		LengthMu: 1.3, LengthSigma: 0.9, MaxLength: 80, Seed: 72,
+	}
+	if opts.Quick {
+		base.NumSessions, base.NumItems, base.Clusters = 8_000, 1_000, 30
+	}
+	ds, err := synth.Generate(base)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, l := range lengths {
+		rec, err := core.NewRecommender(idx, core.Params{M: 500, K: 100})
+		if err != nil {
+			return nil, err
+		}
+		times := timeFixedQueries(rec, rng, base.NumItems, l, queriesPerPoint)
+		rows = append(rows, ComplexityRow{
+			Dimension: "session-length", Value: l,
+			Median: durationPercentile(times, 0.5), P90: durationPercentile(times, 0.9),
+		})
+	}
+
+	for _, m := range samples {
+		rec, err := core.NewRecommender(idx, core.Params{M: m, K: 100})
+		if err != nil {
+			return nil, err
+		}
+		times := timeFixedQueries(rec, rng, base.NumItems, 3, queriesPerPoint)
+		rows = append(rows, ComplexityRow{
+			Dimension: "sample", Value: m,
+			Median: durationPercentile(times, 0.5), P90: durationPercentile(times, 0.9),
+		})
+	}
+	return rows, nil
+}
+
+// timeFixedQueries measures n queries of exactly the given session length.
+func timeFixedQueries(rec *core.Recommender, rng *rand.Rand, vocab, length, n int) []time.Duration {
+	queries := make([][]sessions.ItemID, n)
+	for i := range queries {
+		q := make([]sessions.ItemID, length)
+		for j := range q {
+			q[j] = sessions.ItemID(rng.Intn(vocab))
+		}
+		queries[i] = q
+	}
+	return timeQueries(func(q []sessions.ItemID) { rec.Recommend(q, 21) }, queries)
+}
+
+// PrintComplexity renders the three sweeps.
+func PrintComplexity(w io.Writer, rows []ComplexityRow) {
+	fmt.Fprintln(w, "§3 complexity validation: query time vs |H| (should be flat), |s| and m (should be ~linear)")
+	header := []string{"dimension", "value", "median", "p90"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dimension, fmt.Sprintf("%d", r.Value),
+			r.Median.Round(time.Microsecond).String(),
+			r.P90.Round(time.Microsecond).String(),
+		})
+	}
+	printTable(w, header, cells)
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/metrics"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+// Options tune how heavy the experiment runners are.
+type Options struct {
+	// Quick shrinks datasets and sweeps so that the full suite runs in
+	// seconds (used by tests and the repository benchmarks). The full-size
+	// runs back the numbers recorded in EXPERIMENTS.md.
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// RecommendFunc is the minimal recommender contract the evaluation
+// protocol needs.
+type RecommendFunc func(evolving []sessions.ItemID, n int) []core.ScoredItem
+
+// prepProfile generates a dataset profile (optionally shrunk for Quick
+// runs) and splits off the last day as the held-out test set, the protocol
+// of §5.1.
+func prepProfile(name string, opts Options) (train, test *sessions.Dataset, err error) {
+	cfg, err := synth.Profile(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Quick {
+		cfg.NumSessions /= 10
+		if cfg.NumSessions < 500 {
+			cfg.NumSessions = 500
+		}
+		cfg.NumItems /= 4
+		if cfg.NumItems < 200 {
+			cfg.NumItems = 200
+		}
+		if cfg.Clusters > cfg.NumItems/4 {
+			cfg.Clusters = cfg.NumItems / 4
+		}
+	}
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp := sessions.TemporalSplit(ds, 1)
+	// The training sessions must be renumbered to dense time-ascending ids
+	// for index construction.
+	return sessions.Renumber(sp.Train), sp.Test, nil
+}
+
+// evaluate runs the session-rec evaluation protocol: for every prefix of
+// every test session, ask for the top-k recommendations and score the true
+// next item and the remaining items.
+func evaluate(rec RecommendFunc, test *sessions.Dataset, k, maxSessions int) metrics.Report {
+	acc := metrics.NewRankingAccumulator(k)
+	n := len(test.Sessions)
+	if maxSessions > 0 && n > maxSessions {
+		n = maxSessions
+	}
+	for si := 0; si < n; si++ {
+		s := &test.Sessions[si]
+		for t := 0; t < s.Len()-1; t++ {
+			recs := rec(s.Items[:t+1], k)
+			items := make([]sessions.ItemID, len(recs))
+			for i, r := range recs {
+				items[i] = r.Item
+			}
+			acc.Add(items, s.Items[t+1], s.Items[t+1:])
+		}
+	}
+	return acc.Report()
+}
+
+// evaluateWithCoverage additionally tracks catalogue coverage and
+// popularity bias of the produced lists.
+func evaluateWithCoverage(rec RecommendFunc, test *sessions.Dataset, k, maxSessions, catalogSize int, popularity map[sessions.ItemID]int) (metrics.Report, metrics.CoverageReport) {
+	acc := metrics.NewRankingAccumulator(k)
+	cov := metrics.NewCoverageAccumulator(catalogSize, popularity)
+	n := len(test.Sessions)
+	if maxSessions > 0 && n > maxSessions {
+		n = maxSessions
+	}
+	for si := 0; si < n; si++ {
+		s := &test.Sessions[si]
+		for t := 0; t < s.Len()-1; t++ {
+			recs := rec(s.Items[:t+1], k)
+			items := make([]sessions.ItemID, len(recs))
+			for i, r := range recs {
+				items[i] = r.Item
+			}
+			acc.Add(items, s.Items[t+1], s.Items[t+1:])
+			cov.Add(items)
+		}
+	}
+	return acc.Report(), cov.Report()
+}
+
+// queryPrefixes expands test sessions into growing evolving-session
+// prefixes, the query stream of the §5.2.1 comparison ("sequentially
+// compute next-item recommendations for the growing evolving sessions").
+func queryPrefixes(test *sessions.Dataset, maxSessions int) [][]sessions.ItemID {
+	var out [][]sessions.ItemID
+	n := len(test.Sessions)
+	if maxSessions > 0 && n > maxSessions {
+		n = maxSessions
+	}
+	for si := 0; si < n; si++ {
+		s := &test.Sessions[si]
+		for t := 1; t < s.Len(); t++ {
+			out = append(out, s.Items[:t])
+		}
+	}
+	return out
+}
+
+// timeQueries runs every query through fn and returns the per-query wall
+// times.
+func timeQueries(fn func([]sessions.ItemID), queries [][]sessions.ItemID) []time.Duration {
+	times := make([]time.Duration, len(queries))
+	for i, q := range queries {
+		start := time.Now()
+		fn(q)
+		times[i] = time.Since(start)
+	}
+	return times
+}
+
+// durationPercentile returns the p-quantile of a duration sample.
+func durationPercentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// printTable writes an aligned two-dimensional text table.
+func printTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	printRow(sep)
+	for _, r := range rows {
+		printRow(r)
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"serenade/internal/compressed"
+	"serenade/internal/core"
+	"serenade/internal/incremental"
+	"serenade/internal/sessions"
+)
+
+// ExtensionsResult quantifies the two future-work extensions (§7 of the
+// paper): querying a compressed index in place, and maintaining the index
+// incrementally instead of rebuilding daily.
+type ExtensionsResult struct {
+	// Compressed-index ablation.
+	RawBytes        int64
+	CompressedBytes int64
+	RawMedian       time.Duration
+	RawP90          time.Duration
+	CompMedian      time.Duration
+	CompP90         time.Duration
+
+	// Incremental-maintenance ablation.
+	AppendsPerSec    float64
+	IncMedian        time.Duration
+	IncP90           time.Duration
+	CompactTime      time.Duration
+	FullRebuildTime  time.Duration
+	DeltaAtBenchmark int
+}
+
+// Extensions measures both extensions on the ecom-1m stand-in.
+func Extensions(opts Options) (*ExtensionsResult, error) {
+	train, test, err := prepProfile("ecom-1m-sim", opts)
+	if err != nil {
+		return nil, err
+	}
+	p := core.Params{M: 500, K: 100}
+	maxSessions := 150
+	if opts.Quick {
+		maxSessions = 30
+	}
+	queries := queryPrefixes(test, maxSessions)
+	res := &ExtensionsResult{}
+
+	// --- Compressed index ---
+	idx, err := core.BuildIndex(train, 0)
+	if err != nil {
+		return nil, err
+	}
+	comp := compressed.FromIndex(idx)
+	res.RawBytes = idx.MemoryFootprint()
+	res.CompressedBytes = comp.MemoryFootprint()
+
+	rawRec, err := core.NewRecommender(idx, p)
+	if err != nil {
+		return nil, err
+	}
+	rawTimes := timeQueries(func(q []sessions.ItemID) { rawRec.Recommend(q, 21) }, queries)
+	res.RawMedian = durationPercentile(rawTimes, 0.5)
+	res.RawP90 = durationPercentile(rawTimes, 0.9)
+
+	compRec, err := compressed.NewRecommender(comp, p)
+	if err != nil {
+		return nil, err
+	}
+	compTimes := timeQueries(func(q []sessions.ItemID) { compRec.Recommend(q, 21) }, queries)
+	res.CompMedian = durationPercentile(compTimes, 0.5)
+	res.CompP90 = durationPercentile(compTimes, 0.9)
+
+	// --- Incremental maintenance ---
+	inc, err := incremental.FromDataset(train, 0)
+	if err != nil {
+		return nil, err
+	}
+	appendCount := len(test.Sessions)
+	last := train.Sessions[len(train.Sessions)-1].Time()
+	start := time.Now()
+	for i := range test.Sessions {
+		s := &test.Sessions[i]
+		if t := s.Time(); t > last {
+			last = t
+		}
+		if _, err := inc.Append(s.Items, last); err != nil {
+			return nil, err
+		}
+	}
+	appendElapsed := time.Since(start)
+	if appendElapsed > 0 {
+		res.AppendsPerSec = float64(appendCount) / appendElapsed.Seconds()
+	}
+	res.DeltaAtBenchmark = inc.DeltaSessions()
+
+	incRec, err := incremental.NewRecommender(inc, p)
+	if err != nil {
+		return nil, err
+	}
+	incTimes := timeQueries(func(q []sessions.ItemID) { incRec.Recommend(q, 21) }, queries)
+	res.IncMedian = durationPercentile(incTimes, 0.5)
+	res.IncP90 = durationPercentile(incTimes, 0.9)
+
+	start = time.Now()
+	if err := inc.Compact(); err != nil {
+		return nil, err
+	}
+	res.CompactTime = time.Since(start)
+
+	// Reference cost: a full daily rebuild over the same data.
+	all := append(append([]sessions.Session{}, train.Sessions...), test.Sessions...)
+	full := sessions.Renumber(sessions.FromSessions("full", all))
+	start = time.Now()
+	if _, err := core.BuildIndex(full, 0); err != nil {
+		return nil, err
+	}
+	res.FullRebuildTime = time.Since(start)
+	return res, nil
+}
+
+// PrintExtensions renders both ablations.
+func PrintExtensions(w io.Writer, r *ExtensionsResult) {
+	fmt.Fprintln(w, "Extension 1 (§7 future work): compressed query-time index")
+	printTable(w, []string{"index", "bytes", "median", "p90"}, [][]string{
+		{"raw", fmt.Sprintf("%d", r.RawBytes), r.RawMedian.Round(time.Microsecond).String(), r.RawP90.Round(time.Microsecond).String()},
+		{"compressed", fmt.Sprintf("%d", r.CompressedBytes), r.CompMedian.Round(time.Microsecond).String(), r.CompP90.Round(time.Microsecond).String()},
+	})
+	fmt.Fprintf(w, "footprint ratio: %.2fx smaller\n\n", float64(r.RawBytes)/float64(r.CompressedBytes))
+
+	fmt.Fprintln(w, "Extension 2 (§7 future work): incremental index maintenance")
+	printTable(w, []string{"metric", "value"}, [][]string{
+		{"appends/s", fmt.Sprintf("%.0f", r.AppendsPerSec)},
+		{"delta sessions at query time", fmt.Sprintf("%d", r.DeltaAtBenchmark)},
+		{"query median (base+delta)", r.IncMedian.Round(time.Microsecond).String()},
+		{"query p90 (base+delta)", r.IncP90.Round(time.Microsecond).String()},
+		{"compaction time", r.CompactTime.Round(time.Millisecond).String()},
+		{"full rebuild time (reference)", r.FullRebuildTime.Round(time.Millisecond).String()},
+	})
+}

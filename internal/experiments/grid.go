@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"serenade/internal/core"
+)
+
+// GridCell is one hyperparameter combination's quality (Figure 2).
+type GridCell struct {
+	M, K int
+	MRR  float64
+	Prec float64
+}
+
+// Grid reproduces the Figure 2 sensitivity study: an exhaustive sweep over
+// the number of neighbours k and the recency sample size m, reporting
+// MRR@20 and Prec@20 on the held-out last day of the named dataset profile.
+// Combinations with k > m are skipped (neighbours are drawn from the
+// sample).
+func Grid(profile string, opts Options) ([]GridCell, error) {
+	train, test, err := prepProfile(profile, opts)
+	if err != nil {
+		return nil, err
+	}
+	ks := []int{50, 100, 500, 1000, 1500}
+	ms := []int{50, 100, 500, 1000, 5000}
+	evalSessions := 400
+	if opts.Quick {
+		ks = []int{50, 100}
+		ms = []int{50, 500}
+		evalSessions = 40
+	}
+
+	maxM := ms[len(ms)-1]
+	idx, err := core.BuildIndex(train, maxM)
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []GridCell
+	for _, m := range ms {
+		for _, k := range ks {
+			if k > m {
+				continue
+			}
+			rec, err := core.NewRecommender(idx, core.Params{M: m, K: k})
+			if err != nil {
+				return nil, err
+			}
+			report := evaluate(rec.Recommend, test, 20, evalSessions)
+			cells = append(cells, GridCell{M: m, K: k, MRR: report.MRR, Prec: report.Precision})
+		}
+	}
+	return cells, nil
+}
+
+// PrintGrid renders the sweep as the two heat grids of Figure 2 (numeric
+// rather than coloured).
+func PrintGrid(w io.Writer, profile string, cells []GridCell) {
+	ms := orderedKeys(cells, func(c GridCell) int { return c.M })
+	ks := orderedKeys(cells, func(c GridCell) int { return c.K })
+	lookup := map[[2]int]GridCell{}
+	for _, c := range cells {
+		lookup[[2]int{c.M, c.K}] = c
+	}
+	for _, metric := range []struct {
+		name string
+		get  func(GridCell) float64
+	}{
+		{"MRR@20", func(c GridCell) float64 { return c.MRR }},
+		{"Prec@20", func(c GridCell) float64 { return c.Prec }},
+	} {
+		fmt.Fprintf(w, "Figure 2 (%s): %s over k (rows) x m (columns)\n", profile, metric.name)
+		header := []string{"k \\ m"}
+		for _, m := range ms {
+			header = append(header, fmt.Sprintf("%d", m))
+		}
+		var rows [][]string
+		for _, k := range ks {
+			row := []string{fmt.Sprintf("%d", k)}
+			for _, m := range ms {
+				if c, ok := lookup[[2]int{m, k}]; ok {
+					row = append(row, fmt.Sprintf("%.4f", metric.get(c)))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+		printTable(w, header, rows)
+		fmt.Fprintln(w)
+	}
+}
+
+func orderedKeys(cells []GridCell, key func(GridCell) int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cells {
+		k := key(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

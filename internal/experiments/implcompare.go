@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// ImplRow is one (dataset, implementation) latency measurement for the
+// Figure 3(a) top comparison.
+type ImplRow struct {
+	Dataset string
+	Impl    string
+	Median  time.Duration
+	P90     time.Duration
+}
+
+// implProfiles lists the dataset profiles used by the comparison, smallest
+// first (the paper sweeps all six; the heavier profiles dominate runtime,
+// so full runs use four).
+func implProfiles(opts Options) []string {
+	if opts.Quick {
+		return []string{"retailrocket-sim"}
+	}
+	return []string{"retailrocket-sim", "rsc15-sim", "ecom-1m-sim", "ecom-60m-sim"}
+}
+
+// ImplComparison reproduces §5.2.1 / Figure 3(a) top: per-query prediction
+// latency (median and p90) of the five implementation design points over
+// growing evolving sessions, with m=500 (capped by dataset size) and k=100.
+func ImplComparison(opts Options) ([]ImplRow, error) {
+	var rows []ImplRow
+	for _, profile := range implProfiles(opts) {
+		train, test, err := prepProfile(profile, opts)
+		if err != nil {
+			return nil, err
+		}
+		p := core.Params{M: 500, K: 100}
+		idx, err := core.BuildIndex(train, 0)
+		if err != nil {
+			return nil, err
+		}
+		vmis, err := NewVMISCore(idx, p)
+		if err != nil {
+			return nil, err
+		}
+		impls := []Implementation{
+			NewVSScan(train, p),
+			NewVMISIndexed(idx, p),
+			NewVMISBoxed(idx, p),
+			NewVMISMaterialised(idx, p),
+			vmis,
+		}
+		maxSessions := 150
+		if opts.Quick {
+			maxSessions = 30
+		}
+		queries := queryPrefixes(test, maxSessions)
+		for _, impl := range impls {
+			times := timeQueries(func(q []sessions.ItemID) { impl.Recommend(q, 21) }, queries)
+			rows = append(rows, ImplRow{
+				Dataset: profile,
+				Impl:    impl.Name(),
+				Median:  durationPercentile(times, 0.5),
+				P90:     durationPercentile(times, 0.9),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintImplComparison renders the Figure 3(a) top table.
+func PrintImplComparison(w io.Writer, rows []ImplRow) {
+	fmt.Fprintln(w, "Figure 3(a) top: per-session prediction time by implementation design point")
+	header := []string{"dataset", "implementation", "median (µs)", "p90 (µs)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.Impl,
+			fmt.Sprintf("%.1f", micros(r.Median)),
+			fmt.Sprintf("%.1f", micros(r.P90)),
+		})
+	}
+	printTable(w, header, cells)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"serenade/internal/kvstore"
+)
+
+// KVBenchResult holds the §4.2 session-store microbenchmark readout: the
+// paper reports a p99 read latency of 5µs and p99 write latency of 18µs for
+// 10 million RocksDB operations on its workload.
+type KVBenchResult struct {
+	Ops      int
+	ReadP50  time.Duration
+	ReadP99  time.Duration
+	WriteP50 time.Duration
+	WriteP99 time.Duration
+}
+
+// KVBench measures read/write latency percentiles of the local session
+// store under the serving workload shape (128-byte session blobs, skewed
+// key popularity).
+func KVBench(opts Options) (*KVBenchResult, error) {
+	ops := 1_000_000
+	if opts.Quick {
+		ops = 50_000
+	}
+	store, err := kvstore.Open(kvstore.Options{TTL: 30 * time.Minute})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+
+	const keys = 100_000
+	value := make([]byte, 128)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	keyName := func(i int) string { return fmt.Sprintf("session-%d", i%keys) }
+
+	// Preload so reads hit.
+	for i := 0; i < keys; i++ {
+		if err := store.Put(keyName(i), value); err != nil {
+			return nil, err
+		}
+	}
+
+	writeTimes := make([]time.Duration, 0, ops/2)
+	readTimes := make([]time.Duration, 0, ops/2)
+	for i := 0; i < ops; i++ {
+		if i%2 == 0 {
+			start := time.Now()
+			if err := store.Put(keyName(i), value); err != nil {
+				return nil, err
+			}
+			writeTimes = append(writeTimes, time.Since(start))
+		} else {
+			start := time.Now()
+			store.Get(keyName(i * 7))
+			readTimes = append(readTimes, time.Since(start))
+		}
+	}
+	return &KVBenchResult{
+		Ops:      ops,
+		ReadP50:  durationPercentile(readTimes, 0.5),
+		ReadP99:  durationPercentile(readTimes, 0.99),
+		WriteP50: durationPercentile(writeTimes, 0.5),
+		WriteP99: durationPercentile(writeTimes, 0.99),
+	}, nil
+}
+
+// PrintKVBench renders the microbenchmark.
+func PrintKVBench(w io.Writer, r *KVBenchResult) {
+	fmt.Fprintln(w, "§4.2: session store microbenchmark (paper: RocksDB p99 read 5µs, write 18µs)")
+	header := []string{"ops", "read p50", "read p99", "write p50", "write p99"}
+	printTable(w, header, [][]string{{
+		fmt.Sprintf("%d", r.Ops),
+		r.ReadP50.String(), r.ReadP99.String(),
+		r.WriteP50.String(), r.WriteP99.String(),
+	}})
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"serenade/internal/cluster"
+	"serenade/internal/core"
+	"serenade/internal/loadgen"
+	"serenade/internal/serving"
+)
+
+// LoadTestConfig parameterises the Figure 3(b) load test.
+type LoadTestConfig struct {
+	// RPS is the target request rate (the paper sustains >1000).
+	RPS int
+	// Duration is the test length per rate.
+	Duration time.Duration
+	// Replicas is the number of stateful serving pods (the paper uses 2).
+	Replicas int
+}
+
+// LoadTest reproduces §5.2.2 / Figure 3(b): replay historical traffic at a
+// target rate against a pool of stateful replicas behind sticky routing and
+// record per-second request counts, latency percentiles and core usage.
+func LoadTest(cfg LoadTestConfig, opts Options) (*loadgen.Result, error) {
+	if cfg.RPS <= 0 {
+		cfg.RPS = 1000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	profile := "ecom-60m-sim"
+	if opts.Quick {
+		profile = "retailrocket-sim"
+	}
+	train, test, err := prepProfile(profile, opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := core.BuildIndex(train, 500)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := cluster.NewPool(idx, serving.Config{
+		Params: core.Params{M: 500, K: 100},
+	}, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	workload := loadgen.Workload(test, 0)
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiments: empty replay workload")
+	}
+	return loadgen.Run(loadgen.Config{
+		TargetRPS: cfg.RPS,
+		Duration:  cfg.Duration,
+	}, func(i uint64) error {
+		_, err := pool.Recommend(workload[i%uint64(len(workload))])
+		return err
+	})
+}
+
+// PrintLoadTest renders the per-bucket series and the overall percentiles.
+func PrintLoadTest(w io.Writer, res *loadgen.Result) {
+	fmt.Fprintln(w, "Figure 3(b): load test (requests/s, latency percentiles, core usage)")
+	header := []string{"t (s)", "req/s", "p75", "p90", "p99.5", "cores"}
+	var cells [][]string
+	for _, p := range res.Points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.0f", p.Offset.Seconds()),
+			fmt.Sprintf("%d", p.Requests),
+			p.P75.Round(time.Microsecond).String(),
+			p.P90.Round(time.Microsecond).String(),
+			p.P995.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2f", p.Cores),
+		})
+	}
+	printTable(w, header, cells)
+	fmt.Fprintf(w, "overall: sent=%d errors=%d achieved=%.0f req/s  %s\n",
+		res.Sent, res.Errors, res.AchievedRPS, res.Total.Summary())
+}
+
+// CoreScalingRow is one rate's core usage (§5.2.3 / §7 cost discussion).
+type CoreScalingRow struct {
+	RPS         int
+	AchievedRPS float64
+	Cores       float64
+	P90         time.Duration
+}
+
+// CoreScaling sweeps request rates and reports average core usage,
+// reproducing the "well-behaved linear scaling (with a gentle slope) of the
+// core usage with the number of requests per second" observation.
+func CoreScaling(rates []int, perRate time.Duration, opts Options) ([]CoreScalingRow, error) {
+	if len(rates) == 0 {
+		rates = []int{100, 200, 400, 600}
+	}
+	if perRate <= 0 {
+		perRate = 5 * time.Second
+	}
+	train, test, err := prepProfile("retailrocket-sim", opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := core.BuildIndex(train, 500)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := cluster.NewPool(idx, serving.Config{Params: core.Params{M: 500, K: 100}}, 2)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	workload := loadgen.Workload(test, 0)
+
+	var rows []CoreScalingRow
+	for _, rps := range rates {
+		res, err := loadgen.Run(loadgen.Config{TargetRPS: rps, Duration: perRate}, func(i uint64) error {
+			_, err := pool.Recommend(workload[i%uint64(len(workload))])
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		avgCores := 0.0
+		if len(res.Points) > 0 {
+			for _, p := range res.Points {
+				avgCores += p.Cores
+			}
+			avgCores /= float64(len(res.Points))
+		}
+		rows = append(rows, CoreScalingRow{
+			RPS:         rps,
+			AchievedRPS: res.AchievedRPS,
+			Cores:       avgCores,
+			P90:         res.Total.Percentile(90),
+		})
+	}
+	return rows, nil
+}
+
+// PrintCoreScaling renders the sweep.
+func PrintCoreScaling(w io.Writer, rows []CoreScalingRow) {
+	fmt.Fprintln(w, "§5.2.3/§7: core usage vs request rate")
+	header := []string{"target req/s", "achieved", "avg cores", "p90 latency"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.RPS),
+			fmt.Sprintf("%.0f", r.AchievedRPS),
+			fmt.Sprintf("%.2f", r.Cores),
+			r.P90.Round(time.Microsecond).String(),
+		})
+	}
+	printTable(w, header, cells)
+}

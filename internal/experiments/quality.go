@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/legacy"
+	"serenade/internal/metrics"
+	"serenade/internal/neural"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+// QualityRow is one model's offline prediction quality (§5.1.1).
+type QualityRow struct {
+	Model     string
+	Report    metrics.Report
+	Coverage  metrics.CoverageReport
+	TrainTime time.Duration
+	EvalTime  time.Duration
+}
+
+// Quality reproduces the §5.1.1 sanity-check: VMIS-kNN against the three
+// neural baselines (GRU4Rec, NARM, STAMP) and the legacy item-item CF, all
+// trained on the same historical sessions and evaluated on the next day
+// with MAP@20, Prec@20, R@20 and MRR@20.
+func Quality(opts Options) ([]QualityRow, error) {
+	// The dataset is sized into the regime the paper evaluates in: a large,
+	// sparse item vocabulary relative to the training budget. This is where
+	// nearest-neighbour methods shine — a capacity-bounded neural model
+	// cannot memorise item-frequency information for thousands of items
+	// from a few epochs (§5.1.1 cites exactly this as the suspected cause),
+	// while VMIS-kNN exploits it directly through its index.
+	cfg := synth.Config{
+		Name: "quality-sim", NumSessions: 8000, NumItems: 4000, Days: 15,
+		Clusters: 100, ZipfS: 1.15, PStay: 0.85, RevisitProb: 0.06,
+		LengthMu: 1.3, LengthSigma: 0.85, MaxLength: 40, Seed: 101,
+	}
+	epochs := 3
+	evalSessions := 0 // all
+	if opts.Quick {
+		cfg.NumSessions, cfg.NumItems, cfg.Clusters = 1200, 300, 15
+		epochs = 1
+		evalSessions = 60
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	ds, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sp := sessions.TemporalSplit(ds, 1)
+	train := sessions.Renumber(sp.Train)
+	test := sp.Test
+	if len(test.Sessions) == 0 {
+		return nil, fmt.Errorf("experiments: empty test split")
+	}
+
+	const k = 20
+	popularity := make(map[sessions.ItemID]int)
+	for _, c := range train.Clicks {
+		popularity[c.Item]++
+	}
+	var rows []QualityRow
+
+	// VMIS-kNN.
+	{
+		start := time.Now()
+		idx, err := core.BuildIndex(train, 0)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := core.NewRecommender(idx, core.Params{M: 500, K: 100})
+		if err != nil {
+			return nil, err
+		}
+		trainTime := time.Since(start)
+		start = time.Now()
+		report, cov := evaluateWithCoverage(rec.Recommend, test, k, evalSessions, train.NumItems, popularity)
+		rows = append(rows, QualityRow{Model: "VMIS-kNN", Report: report, Coverage: cov, TrainTime: trainTime, EvalTime: time.Since(start)})
+	}
+
+	// Neural baselines.
+	neuralCfg := neural.Config{NumItems: train.NumItems, EmbedDim: 24, HiddenDim: 24, Seed: 7, MaxLen: 15}
+	if opts.Quick {
+		neuralCfg.EmbedDim, neuralCfg.HiddenDim = 12, 12
+	}
+	for _, m := range []neural.Model{
+		neural.NewGRU4Rec(neuralCfg),
+		neural.NewNARM(neuralCfg),
+		neural.NewSTAMP(neuralCfg),
+	} {
+		start := time.Now()
+		neural.Fit(m, train, epochs, 13)
+		trainTime := time.Since(start)
+		start = time.Now()
+		report, cov := evaluateWithCoverage(func(ev []sessions.ItemID, n int) []core.ScoredItem {
+			return neural.Recommend(m, ev, n)
+		}, test, k, evalSessions, train.NumItems, popularity)
+		rows = append(rows, QualityRow{Model: m.Name(), Report: report, Coverage: cov, TrainTime: trainTime, EvalTime: time.Since(start)})
+	}
+
+	// Legacy item-item CF (the production system Serenade replaced).
+	{
+		start := time.Now()
+		m := legacy.Train(train, legacy.Config{})
+		trainTime := time.Since(start)
+		start = time.Now()
+		report, cov := evaluateWithCoverage(m.Recommend, test, k, evalSessions, train.NumItems, popularity)
+		rows = append(rows, QualityRow{Model: "item-item CF (legacy)", Report: report, Coverage: cov, TrainTime: trainTime, EvalTime: time.Since(start)})
+	}
+	return rows, nil
+}
+
+// PrintQuality renders the §5.1.1 comparison.
+func PrintQuality(w io.Writer, rows []QualityRow) {
+	header := []string{"model", "MAP@20", "Prec@20", "R@20", "MRR@20", "HR@20", "cov@20", "train", "eval"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Model,
+			fmt.Sprintf("%.4f", r.Report.MAP),
+			fmt.Sprintf("%.4f", r.Report.Precision),
+			fmt.Sprintf("%.4f", r.Report.Recall),
+			fmt.Sprintf("%.4f", r.Report.MRR),
+			fmt.Sprintf("%.4f", r.Report.HitRate),
+			fmt.Sprintf("%.3f", r.Coverage.Coverage),
+			r.TrainTime.Round(time.Millisecond).String(),
+			r.EvalTime.Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Fprintln(w, "§5.1.1: prediction quality, VMIS-kNN vs neural baselines (top 20)")
+	printTable(w, header, cells)
+}

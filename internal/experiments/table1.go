@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+// Table1 regenerates the dataset-statistics table (Table 1 of the paper)
+// for the synthetic stand-in profiles: click/session/item counts, day span
+// and the clicks-per-session percentiles.
+func Table1(opts Options) ([]sessions.Stats, error) {
+	var rows []sessions.Stats
+	for _, name := range synth.Profiles() {
+		cfg, err := synth.Profile(name)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Quick {
+			cfg.NumSessions /= 20
+			if cfg.NumSessions < 200 {
+				cfg.NumSessions = 200
+			}
+		}
+		ds, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
+		}
+		rows = append(rows, sessions.ComputeStats(ds))
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows in the paper's layout.
+func PrintTable1(w io.Writer, rows []sessions.Stats) {
+	header := []string{"dataset", "clicks", "sessions", "items", "days", "p25", "p50", "p75", "p99"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			strconv.Itoa(r.Clicks), strconv.Itoa(r.Sessions), strconv.Itoa(r.Items), strconv.Itoa(r.Days),
+			strconv.Itoa(r.P25), strconv.Itoa(r.P50), strconv.Itoa(r.P75), strconv.Itoa(r.P99),
+		})
+	}
+	fmt.Fprintln(w, "Table 1: dataset statistics (synthetic stand-ins)")
+	printTable(w, header, cells)
+}

@@ -1,0 +1,7 @@
+package incremental
+
+import "fmt"
+
+func errMExceedsCapacity(m, capacity int) error {
+	return fmt.Errorf("incremental: M (%d) exceeds the index posting-list capacity (%d)", m, capacity)
+}

@@ -1,0 +1,53 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+// FuzzLoad: the index loader must never panic or over-allocate on
+// arbitrary bytes — it faces whatever the distributed filesystem hands it.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid index file and a few mutations.
+	ds, err := synth.Generate(synth.Config{
+		Name: "fuzz", NumSessions: 30, NumItems: 20, Days: 3,
+		Clusters: 4, ZipfS: 1.3, PStay: 0.8, RevisitProb: 0.05,
+		LengthMu: 1.0, LengthSigma: 0.5, MaxLength: 10, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("SRNIDX01garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that loads cleanly must be structurally sound enough to
+		// query without panicking.
+		rec, err := core.NewRecommender(loaded, core.Params{M: 5, K: 2})
+		if err != nil {
+			return
+		}
+		for item := 0; item < loaded.NumItems() && item < 8; item++ {
+			rec.Recommend([]sessions.ItemID{sessions.ItemID(item)}, 5)
+		}
+	})
+}

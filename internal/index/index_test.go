@@ -1,0 +1,259 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/dataflow"
+	"serenade/internal/sessions"
+	"serenade/internal/synth"
+)
+
+func smallDataset(t *testing.T, seed int64) *sessions.Dataset {
+	t.Helper()
+	ds, err := synth.Generate(synth.Small(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// indexesEqual compares the observable state of two indexes.
+func indexesEqual(t *testing.T, a, b *core.Index) {
+	t.Helper()
+	if a.NumSessions() != b.NumSessions() || a.NumItems() != b.NumItems() || a.Capacity() != b.Capacity() {
+		t.Fatalf("shape differs: (%d,%d,%d) vs (%d,%d,%d)",
+			a.NumSessions(), a.NumItems(), a.Capacity(),
+			b.NumSessions(), b.NumItems(), b.Capacity())
+	}
+	if !reflect.DeepEqual(a.Times(), b.Times()) {
+		t.Fatal("timestamps differ")
+	}
+	for s := 0; s < a.NumSessions(); s++ {
+		ai := a.SessionItems(sessions.SessionID(s))
+		bi := b.SessionItems(sessions.SessionID(s))
+		if !reflect.DeepEqual(ai, bi) {
+			t.Fatalf("session %d items differ: %v vs %v", s, ai, bi)
+		}
+	}
+	for i := 0; i < a.NumItems(); i++ {
+		item := sessions.ItemID(i)
+		if a.DF(item) != b.DF(item) {
+			t.Fatalf("df(%d) differs: %d vs %d", i, a.DF(item), b.DF(item))
+		}
+		ap, bp := a.Postings(item), b.Postings(item)
+		if len(ap) == 0 && len(bp) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(ap, bp) {
+			t.Fatalf("postings(%d) differ: %v vs %v", i, ap, bp)
+		}
+		if a.IDF(item) != b.IDF(item) {
+			t.Fatalf("idf(%d) differs", i)
+		}
+	}
+}
+
+// TestParallelBuildMatchesSequential: the dataflow build must be
+// bit-identical to core.BuildIndex, for several capacities and worker
+// counts.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	ds := smallDataset(t, 21)
+	for _, capacity := range []int{0, 3, 100} {
+		seq, err := core.BuildIndex(ds, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			par, err := Build(dataflow.NewEngine(workers), ds, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indexesEqual(t, seq, par)
+		}
+	}
+}
+
+func TestParallelBuildEmptyDataset(t *testing.T) {
+	empty := sessions.FromSessions("empty", nil)
+	idx, err := Build(dataflow.NewEngine(4), empty, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumSessions() != 0 {
+		t.Errorf("sessions = %d, want 0", idx.NumSessions())
+	}
+	// The empty index must round-trip through the on-disk format.
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSessions() != 0 || back.NumItems() != 0 {
+		t.Error("empty index changed across serialisation")
+	}
+}
+
+func TestBuildRejectsBadDatasets(t *testing.T) {
+	e := dataflow.NewEngine(2)
+	sparse := sessions.FromSessions("bad", []sessions.Session{
+		{ID: 3, Items: []sessions.ItemID{1}, Times: []int64{10}},
+	})
+	if _, err := Build(e, sparse, 0); err == nil {
+		t.Error("non-dense ids accepted")
+	}
+	unordered := sessions.FromSessions("bad2", []sessions.Session{
+		{ID: 0, Items: []sessions.ItemID{1}, Times: []int64{100}},
+		{ID: 1, Items: []sessions.ItemID{2}, Times: []int64{50}},
+	})
+	if _, err := Build(e, unordered, 0); err == nil {
+		t.Error("time-unordered sessions accepted")
+	}
+}
+
+func TestSerdeRoundTrip(t *testing.T) {
+	ds := smallDataset(t, 5)
+	idx, err := core.BuildIndex(ds, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexesEqual(t, idx, back)
+}
+
+func TestSerdeRoundTripQueriesAgree(t *testing.T) {
+	ds := smallDataset(t, 6)
+	idx, _ := core.BuildIndex(ds, 0)
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{M: 100, K: 30}
+	ra, _ := core.NewRecommender(idx, p)
+	rb, _ := core.NewRecommender(back, p)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		q := []sessions.ItemID{sessions.ItemID(rng.Intn(500)), sessions.ItemID(rng.Intn(500))}
+		a := ra.Recommend(q, 21)
+		b := rb.Recommend(q, 21)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("loaded index disagrees on %v", q)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := smallDataset(t, 8)
+	idx, _ := core.BuildIndex(ds, 0)
+	path := filepath.Join(t.TempDir(), "index.srn")
+	if err := SaveFile(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexesEqual(t, idx, back)
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "no.srn")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	_, err := Load(bytes.NewReader([]byte("NOTANIDX plus some payload")))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	ds := smallDataset(t, 9)
+	idx, _ := core.BuildIndex(ds, 0)
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{9, len(data) / 2, len(data) - 2} {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	ds := smallDataset(t, 10)
+	idx, _ := core.BuildIndex(ds, 0)
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	rng := rand.New(rand.NewSource(11))
+	flipped := 0
+	for trial := 0; trial < 40; trial++ {
+		data := append([]byte(nil), pristine...)
+		pos := 8 + rng.Intn(len(data)-8) // keep the magic intact
+		data[pos] ^= 1 << uint(rng.Intn(8))
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			// A flip inside the flate stream may decompress to the same
+			// plaintext only if it is in padding; with a CRC trailer a
+			// clean load of corrupted payload is a real failure.
+			t.Errorf("bit flip at %d loaded cleanly", pos)
+		} else {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Error("no corruption was exercised")
+	}
+}
+
+func TestCompressionShrinks(t *testing.T) {
+	ds := smallDataset(t, 12)
+	idx, _ := core.BuildIndex(ds, 0)
+	var buf bytes.Buffer
+	if err := Save(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) >= idx.MemoryFootprint() {
+		t.Errorf("serialised size %d not smaller than in-memory footprint %d", buf.Len(), idx.MemoryFootprint())
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	ds, err := synth.Generate(synth.Small(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := dataflow.NewEngine(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(e, ds, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package index
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// On-disk layout: an 8-byte magic header followed by a flate stream. The
+// uncompressed stream is varint-encoded: counts, delta-encoded session
+// timestamps, per-session item lists, and per-item posting lists stored as a
+// head value plus descending deltas (posting lists are sorted by descending
+// session id, so deltas are non-negative and small). A CRC-32 of the
+// uncompressed payload terminates the stream. This stands in for the
+// compressed Avro container the paper ships from the Spark job to the
+// serving pods.
+
+var magic = [8]byte{'S', 'R', 'N', 'I', 'D', 'X', '0', '1'}
+
+// ErrCorrupt is returned when an index file fails checksum or structural
+// validation.
+var ErrCorrupt = errors.New("index: corrupt index file")
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// Save serialises the index to w.
+func Save(w io.Writer, idx *core.Index) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	fw, err := flate.NewWriter(w, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	cw := &crcWriter{w: fw}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+
+	numSessions := idx.NumSessions()
+	numItems := idx.NumItems()
+	if err := putUvarint(uint64(numSessions)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(numItems)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(idx.Capacity())); err != nil {
+		return err
+	}
+
+	// Timestamps ascend; delta-encode.
+	prev := int64(0)
+	for _, t := range idx.Times() {
+		if err := putUvarint(uint64(t - prev)); err != nil {
+			return err
+		}
+		prev = t
+	}
+
+	// Per-session distinct item lists.
+	for s := 0; s < numSessions; s++ {
+		items := idx.SessionItems(sessions.SessionID(s))
+		if err := putUvarint(uint64(len(items))); err != nil {
+			return err
+		}
+		for _, it := range items {
+			if err := putUvarint(uint64(it)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Per-item document frequency and posting list (head + descending
+	// deltas).
+	for i := 0; i < numItems; i++ {
+		item := sessions.ItemID(i)
+		if err := putUvarint(uint64(idx.DF(item))); err != nil {
+			return err
+		}
+		postings := idx.Postings(item)
+		if err := putUvarint(uint64(len(postings))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for k, sid := range postings {
+			if k == 0 {
+				if err := putUvarint(uint64(sid)); err != nil {
+					return err
+				}
+			} else if err := putUvarint(prev - uint64(sid)); err != nil {
+				return err
+			}
+			prev = uint64(sid)
+		}
+	}
+
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer: CRC of everything written so far, excluded from the CRC
+	// itself.
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+	if _, err := fw.Write(trailer[:]); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+// Load deserialises an index written by Save, validating the checksum and
+// the structural invariants.
+func Load(r io.Reader) (*core.Index, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if head != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	cr := &crcReader{r: bufio.NewReaderSize(flate.NewReader(r), 1<<16)}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(cr) }
+
+	numSessions64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	numItems64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	capacity64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	const limit = 1 << 31
+	if numSessions64 > limit || numItems64 > limit || capacity64 > limit {
+		return nil, fmt.Errorf("%w: implausible header", ErrCorrupt)
+	}
+	numSessions, numItems, capacity := int(numSessions64), int(numItems64), int(capacity64)
+
+	times := make([]int64, numSessions)
+	prev := int64(0)
+	for i := range times {
+		d, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: timestamps: %v", ErrCorrupt, err)
+		}
+		prev += int64(d)
+		times[i] = prev
+	}
+
+	sessionItems := make([][]sessions.ItemID, numSessions)
+	for s := range sessionItems {
+		count, err := readUvarint()
+		if err != nil || count > limit {
+			return nil, fmt.Errorf("%w: session items: %v", ErrCorrupt, err)
+		}
+		items := make([]sessions.ItemID, count)
+		for j := range items {
+			v, err := readUvarint()
+			if err != nil || v >= numItems64 {
+				return nil, fmt.Errorf("%w: session item id: %v", ErrCorrupt, err)
+			}
+			items[j] = sessions.ItemID(v)
+		}
+		sessionItems[s] = items
+	}
+
+	postings := make([][]sessions.SessionID, numItems)
+	df := make([]int32, numItems)
+	for i := range postings {
+		f, err := readUvarint()
+		if err != nil || f > limit {
+			return nil, fmt.Errorf("%w: document frequency: %v", ErrCorrupt, err)
+		}
+		df[i] = int32(f)
+		count, err := readUvarint()
+		if err != nil || count > limit {
+			return nil, fmt.Errorf("%w: posting length: %v", ErrCorrupt, err)
+		}
+		if count == 0 {
+			continue
+		}
+		list := make([]sessions.SessionID, count)
+		cur := uint64(0)
+		for k := range list {
+			v, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: posting id: %v", ErrCorrupt, err)
+			}
+			if k == 0 {
+				cur = v
+			} else {
+				if v > cur {
+					return nil, fmt.Errorf("%w: posting delta underflow", ErrCorrupt)
+				}
+				cur -= v
+			}
+			if cur >= numSessions64 {
+				return nil, fmt.Errorf("%w: posting references unknown session", ErrCorrupt)
+			}
+			list[k] = sessions.SessionID(cur)
+		}
+		postings[i] = list
+	}
+
+	// Verify the trailer: the CRC accumulated so far, compared against the
+	// stored value (which must not itself be folded into the running CRC).
+	want := cr.crc
+	var trailer [4]byte
+	for i := range trailer {
+		b, err := cr.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing checksum trailer", ErrCorrupt)
+		}
+		trailer[i] = b
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	// The flate stream must terminate cleanly right after the trailer;
+	// anything else means the file was truncated or has trailing garbage.
+	if _, err := cr.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: stream does not end after checksum (%v)", ErrCorrupt, err)
+	}
+
+	idx, err := core.NewIndexFromParts(times, postings, sessionItems, df, capacity)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return idx, nil
+}
+
+// SaveFile writes the index to path atomically (via a temporary file).
+func SaveFile(path string, idx *core.Index) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if err = Save(f, idx); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads an index written by SaveFile.
+func LoadFile(path string) (*core.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

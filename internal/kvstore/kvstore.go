@@ -1,0 +1,434 @@
+// Package kvstore implements an embedded key-value store with per-entry
+// time-to-live, used by the serving layer to colocate evolving user sessions
+// with recommendation requests on the serving machine.
+//
+// It stands in for the RocksDB instance the paper deploys on each Serenade
+// pod (§4.2) and reproduces the contract the paper relies on: machine-local
+// reads and writes in microseconds, durability via a write-ahead log, and
+// automatic removal of session data after a configurable period of
+// inactivity (30 minutes in production). The store is a sharded in-memory
+// hash table with an append-only WAL and snapshot compaction; it is not an
+// LSM tree because the paper's workload (small values, hot working set,
+// aggressive TTL) never accumulates data beyond memory.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/maphash"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the durability directory for the WAL and snapshots. If empty,
+	// the store is memory-only (used in tests and for ephemeral caches).
+	Dir string
+	// Shards is the number of lock shards; it must be a power of two.
+	// Defaults to 16.
+	Shards int
+	// TTL is the sliding inactivity window after which entries expire.
+	// Zero disables expiry.
+	TTL time.Duration
+	// Now supplies the clock; defaults to time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+type entry struct {
+	value      []byte
+	lastAccess int64 // unix nanoseconds
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]entry
+}
+
+// Store is a TTL key-value store, safe for concurrent use.
+type Store struct {
+	opts   Options
+	shards []*shard
+	seed   maphash.Seed
+
+	walMu  sync.Mutex
+	wal    *os.File
+	closed bool
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.db"
+
+	opPut    = byte(1)
+	opDelete = byte(2)
+
+	snapshotMagic = uint32(0x53524e44) // "SRND"
+)
+
+// Open creates or recovers a store. When Options.Dir is non-empty, a prior
+// snapshot and WAL found there are replayed.
+func Open(opts Options) (*Store, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 16
+	}
+	if opts.Shards&(opts.Shards-1) != 0 || opts.Shards < 0 {
+		return nil, fmt.Errorf("kvstore: shard count %d is not a power of two", opts.Shards)
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Store{opts: opts, seed: maphash.MakeSeed()}
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{m: make(map[string]entry)}
+	}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: creating dir: %w", err)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: opening WAL: %w", err)
+	}
+	s.wal = wal
+	return s, nil
+}
+
+func (s *Store) shardFor(key string) *shard {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(key)
+	return s.shards[h.Sum64()&uint64(len(s.shards)-1)]
+}
+
+// Put stores value under key, resetting its TTL.
+func (s *Store) Put(key string, value []byte) error {
+	now := s.opts.Now().UnixNano()
+	if err := s.appendWAL(opPut, key, value, now); err != nil {
+		return err
+	}
+	sh := s.shardFor(key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh.mu.Lock()
+	sh.m[key] = entry{value: v, lastAccess: now}
+	sh.mu.Unlock()
+	return nil
+}
+
+// Get returns the value stored under key. A successful read refreshes the
+// entry's TTL ("30 minutes of inactivity" is a sliding window). The second
+// result reports whether the key was present and unexpired.
+func (s *Store) Get(key string) ([]byte, bool) {
+	now := s.opts.Now()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	if s.expired(e, now) {
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		return nil, false
+	}
+	e.lastAccess = now.UnixNano()
+	sh.m[key] = e
+	sh.mu.Unlock()
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true
+}
+
+// Delete removes key. Deleting a missing key is not an error.
+func (s *Store) Delete(key string) error {
+	now := s.opts.Now().UnixNano()
+	if err := s.appendWAL(opDelete, key, nil, now); err != nil {
+		return err
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+	return nil
+}
+
+func (s *Store) expired(e entry, now time.Time) bool {
+	if s.opts.TTL <= 0 {
+		return false
+	}
+	return now.UnixNano()-e.lastAccess > int64(s.opts.TTL)
+}
+
+// Len reports the number of stored entries, including not-yet-swept expired
+// ones.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Sweep removes all expired entries and reports how many were removed.
+// Serving machines run this periodically, mirroring RocksDB's TTL
+// compaction.
+func (s *Store) Sweep() int {
+	now := s.opts.Now()
+	removed := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			if s.expired(e, now) {
+				delete(sh.m, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+func (s *Store) appendWAL(op byte, key string, value []byte, now int64) error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	rec := encodeRecord(op, key, value, now)
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	_, err := s.wal.Write(rec)
+	if err != nil {
+		return fmt.Errorf("kvstore: appending WAL: %w", err)
+	}
+	return nil
+}
+
+// encodeRecord lays out: op(1) | ts(8) | klen(4) | vlen(4) | key | value | crc(4).
+// The CRC covers everything before it.
+func encodeRecord(op byte, key string, value []byte, now int64) []byte {
+	n := 1 + 8 + 4 + 4 + len(key) + len(value) + 4
+	rec := make([]byte, n)
+	rec[0] = op
+	binary.LittleEndian.PutUint64(rec[1:], uint64(now))
+	binary.LittleEndian.PutUint32(rec[9:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[13:], uint32(len(value)))
+	copy(rec[17:], key)
+	copy(rec[17+len(key):], value)
+	crc := crc32.ChecksumIEEE(rec[:n-4])
+	binary.LittleEndian.PutUint32(rec[n-4:], crc)
+	return rec
+}
+
+// recover loads the snapshot (if any) and replays the WAL. A torn or corrupt
+// WAL tail (the expected crash artifact) truncates replay at the first bad
+// record rather than failing recovery.
+func (s *Store) recover() error {
+	if err := s.loadSnapshot(); err != nil {
+		return err
+	}
+	path := filepath.Join(s.opts.Dir, walName)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: opening WAL for recovery: %w", err)
+	}
+	defer f.Close()
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("kvstore: reading WAL: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 17 {
+			break // torn header
+		}
+		klen := int(binary.LittleEndian.Uint32(rest[9:]))
+		vlen := int(binary.LittleEndian.Uint32(rest[13:]))
+		total := 17 + klen + vlen + 4
+		if klen < 0 || vlen < 0 || len(rest) < total {
+			break // torn record
+		}
+		crcWant := binary.LittleEndian.Uint32(rest[total-4:])
+		if crc32.ChecksumIEEE(rest[:total-4]) != crcWant {
+			break // corrupt record: stop replay here
+		}
+		op := rest[0]
+		ts := int64(binary.LittleEndian.Uint64(rest[1:]))
+		key := string(rest[17 : 17+klen])
+		switch op {
+		case opPut:
+			v := make([]byte, vlen)
+			copy(v, rest[17+klen:17+klen+vlen])
+			sh := s.shardFor(key)
+			sh.m[key] = entry{value: v, lastAccess: ts}
+		case opDelete:
+			sh := s.shardFor(key)
+			delete(sh.m, key)
+		default:
+			// Unknown op with a valid CRC: written by a future version.
+			// Stop replay conservatively.
+			off += total
+			return fmt.Errorf("kvstore: unknown WAL op %d", op)
+		}
+		off += total
+	}
+	return nil
+}
+
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.opts.Dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: reading snapshot: %w", err)
+	}
+	if len(data) < 8 {
+		return errors.New("kvstore: snapshot too short")
+	}
+	if binary.LittleEndian.Uint32(data) != snapshotMagic {
+		return errors.New("kvstore: snapshot has bad magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	off := 8
+	for i := 0; i < count; i++ {
+		if len(data)-off < 16 {
+			return errors.New("kvstore: snapshot truncated")
+		}
+		ts := int64(binary.LittleEndian.Uint64(data[off:]))
+		klen := int(binary.LittleEndian.Uint32(data[off+8:]))
+		vlen := int(binary.LittleEndian.Uint32(data[off+12:]))
+		off += 16
+		if len(data)-off < klen+vlen {
+			return errors.New("kvstore: snapshot truncated")
+		}
+		key := string(data[off : off+klen])
+		v := make([]byte, vlen)
+		copy(v, data[off+klen:off+klen+vlen])
+		off += klen + vlen
+		sh := s.shardFor(key)
+		sh.m[key] = entry{value: v, lastAccess: ts}
+	}
+	return nil
+}
+
+// Compact writes a snapshot of the live (unexpired) entries and truncates
+// the WAL. It blocks writers for the duration; the paper's workload compacts
+// during daily index rollover when traffic is low.
+func (s *Store) Compact() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	now := s.opts.Now()
+
+	type kv struct {
+		key string
+		e   entry
+	}
+	var live []kv
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, e := range sh.m {
+			if !s.expired(e, now) {
+				live = append(live, kv{k, e})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+
+	tmp := filepath.Join(s.opts.Dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: creating snapshot: %w", err)
+	}
+	header := make([]byte, 8)
+	binary.LittleEndian.PutUint32(header, snapshotMagic)
+	binary.LittleEndian.PutUint32(header[4:], uint32(len(live)))
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	buf := make([]byte, 16)
+	for _, item := range live {
+		binary.LittleEndian.PutUint64(buf, uint64(item.e.lastAccess))
+		binary.LittleEndian.PutUint32(buf[8:], uint32(len(item.key)))
+		binary.LittleEndian.PutUint32(buf[12:], uint32(len(item.e.value)))
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write([]byte(item.key)); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(item.e.value); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotName)); err != nil {
+		return fmt.Errorf("kvstore: installing snapshot: %w", err)
+	}
+	// Truncate the WAL now that the snapshot covers its contents.
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	wal, err := os.OpenFile(filepath.Join(s.opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: reopening WAL: %w", err)
+	}
+	s.wal = wal
+	return nil
+}
+
+// Close releases the WAL. Further writes return ErrClosed; reads continue to
+// work against the in-memory state.
+func (s *Store) Close() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}

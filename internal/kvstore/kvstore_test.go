@@ -1,0 +1,461 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a controllable clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_600_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func openMem(t *testing.T, ttl time.Duration, clock *fakeClock) *Store {
+	t.Helper()
+	opts := Options{TTL: ttl}
+	if clock != nil {
+		opts.Now = clock.Now
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := openMem(t, 0, nil)
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get of missing key reported ok")
+	}
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k")
+	if !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get = %q,%v want v1,true", v, ok)
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("k"); !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("Get after overwrite = %q, want v2", v)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("Get after delete reported ok")
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Errorf("double delete errored: %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := openMem(t, 0, nil)
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	again, _ := s.Get("k")
+	if !bytes.Equal(again, []byte("abc")) {
+		t.Error("mutating a returned value corrupted the store")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := openMem(t, 0, nil)
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if !bytes.Equal(v, []byte("abc")) {
+		t.Error("mutating the caller's buffer corrupted the store")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := newFakeClock()
+	s := openMem(t, 30*time.Minute, clock)
+	s.Put("session", []byte("state"))
+	clock.Advance(29 * time.Minute)
+	if _, ok := s.Get("session"); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	// The Get above refreshed the sliding window.
+	clock.Advance(29 * time.Minute)
+	if _, ok := s.Get("session"); !ok {
+		t.Fatal("sliding TTL was not refreshed by Get")
+	}
+	clock.Advance(31 * time.Minute)
+	if _, ok := s.Get("session"); ok {
+		t.Fatal("entry survived past TTL")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	clock := newFakeClock()
+	s := openMem(t, 30*time.Minute, clock)
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("old%d", i), []byte("x"))
+	}
+	clock.Advance(31 * time.Minute)
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("new%d", i), []byte("y"))
+	}
+	if removed := s.Sweep(); removed != 10 {
+		t.Errorf("Sweep removed %d, want 10", removed)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d after sweep, want 5", s.Len())
+	}
+}
+
+func TestZeroTTLNeverExpires(t *testing.T) {
+	clock := newFakeClock()
+	s := openMem(t, 0, clock)
+	s.Put("k", []byte("v"))
+	clock.Advance(1000 * time.Hour)
+	if _, ok := s.Get("k"); !ok {
+		t.Error("entry with zero TTL expired")
+	}
+	if s.Sweep() != 0 {
+		t.Error("Sweep removed entries with zero TTL")
+	}
+}
+
+func TestOpenBadShards(t *testing.T) {
+	if _, err := Open(Options{Shards: 3}); err == nil {
+		t.Error("expected error for non-power-of-two shards")
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("k0")
+	s.Put("k1", []byte("updated"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("k0"); ok {
+		t.Error("deleted key resurrected by recovery")
+	}
+	if v, _ := s2.Get("k1"); !bytes.Equal(v, []byte("updated")) {
+		t.Errorf("k1 = %q, want updated", v)
+	}
+	if v, _ := s2.Get("k50"); !bytes.Equal(v, []byte("v50")) {
+		t.Errorf("k50 = %q, want v50", v)
+	}
+	if s2.Len() != 99 {
+		t.Errorf("Len = %d after recovery, want 99", s2.Len())
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the WAL tail.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery must tolerate torn tail: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("a"); !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := s2.Get("b"); ok {
+		t.Error("torn record replayed")
+	}
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Options{Dir: dir})
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	walPath := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(walPath)
+	// Flip a byte inside the first record's value region.
+	data[18] ^= 0xFF
+	os.WriteFile(walPath, data, 0o644)
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery must tolerate corruption: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Errorf("replay continued past corrupt record: Len=%d", s2.Len())
+	}
+}
+
+func TestCompactAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := Open(Options{Dir: dir, TTL: 30 * time.Minute, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("stale", []byte("old"))
+	clock.Advance(time.Hour)
+	s.Put("fresh", []byte("new"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL must now be empty.
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Errorf("WAL not truncated after compaction: %v bytes", fi.Size())
+	}
+	s.Put("after", []byte("compaction"))
+	s.Close()
+
+	s2, err := Open(Options{Dir: dir, TTL: 30 * time.Minute, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("stale"); ok {
+		t.Error("expired entry survived compaction")
+	}
+	if v, _ := s2.Get("fresh"); !bytes.Equal(v, []byte("new")) {
+		t.Errorf("fresh = %q, want new", v)
+	}
+	if v, _ := s2.Get("after"); !bytes.Equal(v, []byte("compaction")) {
+		t.Errorf("after = %q, want compaction", v)
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, snapshotName), []byte("garbagex"), 0o644)
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Error("expected error for corrupt snapshot")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Options{Dir: dir})
+	s.Put("key-with-some-length", bytes.Repeat([]byte("v"), 100))
+	s.Compact()
+	s.Close()
+	snapPath := filepath.Join(dir, snapshotName)
+	data, _ := os.ReadFile(snapPath)
+	os.WriteFile(snapPath, data[:len(data)-10], 0o644)
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Error("expected error for truncated snapshot")
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Options{Dir: dir})
+	s.Put("k", []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close errored: %v", err)
+	}
+	if err := s.Put("k2", []byte("v")); err != ErrClosed {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close = %v, want ErrClosed", err)
+	}
+	// reads still work
+	if _, ok := s.Get("k"); !ok {
+		t.Error("read after close failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := openMem(t, 0, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d-%d", w, i%50)
+				s.Put(key, []byte{byte(i)})
+				s.Get(key)
+				if i%10 == 0 {
+					s.Delete(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPropertyModelEquivalence compares the store against a plain map model
+// under a random operation sequence (memory-only, no TTL).
+func TestPropertyModelEquivalence(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value uint16
+	}
+	prop := func(ops []op) bool {
+		s, err := Open(Options{})
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%16)
+			switch o.Kind % 3 {
+			case 0:
+				v := []byte(fmt.Sprintf("v%d", o.Value))
+				s.Put(key, v)
+				model[key] = v
+			case 1:
+				s.Delete(key)
+				delete(model, key)
+			case 2:
+				got, ok := s.Get(key)
+				want, wantOK := model[key]
+				if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWALRecoveryEquivalence: after any sequence of puts/deletes,
+// reopening from the WAL reproduces the same state.
+func TestPropertyWALRecoveryEquivalence(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint8
+		Value uint16
+	}
+	prop := func(ops []op) bool {
+		dir, err := os.MkdirTemp("", "kvprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		s, err := Open(Options{Dir: dir})
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%8)
+			if o.Kind%2 == 0 {
+				v := []byte(fmt.Sprintf("v%d", o.Value))
+				s.Put(key, v)
+				model[key] = v
+			} else {
+				s.Delete(key)
+				delete(model, key)
+			}
+		}
+		s.Close()
+		s2, err := Open(Options{Dir: dir})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := s2.Get(k)
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkSec42ReadWrite reproduces the §4.2 microbenchmark shape: reads
+// and writes must complete in microseconds.
+func BenchmarkGet(b *testing.B) {
+	s, _ := Open(Options{TTL: 30 * time.Minute})
+	for i := 0; i < 10000; i++ {
+		s.Put(fmt.Sprintf("session-%d", i), bytes.Repeat([]byte("x"), 128))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("session-%d", i%10000))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s, _ := Open(Options{TTL: 30 * time.Minute})
+	val := bytes.Repeat([]byte("x"), 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("session-%d", i%10000), val)
+	}
+}

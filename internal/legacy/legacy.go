@@ -1,0 +1,116 @@
+// Package legacy implements the control arm of the paper's A/B test: a
+// variant of classic item-to-item collaborative filtering (Sarwar et al.,
+// WWW 2001), the recommender Serenade replaced at bol.com. It recommends
+// items that co-occur in historical sessions with the item currently viewed
+// ("other customers also viewed"), using cosine-normalised cooccurrence
+// counts, ignoring the rest of the evolving session.
+package legacy
+
+import (
+	"math"
+	"sort"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// Model holds the precomputed item-item neighbourhoods.
+type Model struct {
+	neighbors map[sessions.ItemID][]core.ScoredItem
+}
+
+// Config shapes training.
+type Config struct {
+	// MaxNeighbors caps the stored neighbourhood per item; 0 means 100.
+	MaxNeighbors int
+	// MaxSessionLength skips the tail of very long sessions during
+	// cooccurrence counting (cost is quadratic in session length);
+	// 0 means 50.
+	MaxSessionLength int
+}
+
+type pairKey struct{ a, b sessions.ItemID }
+
+// Train computes cosine-normalised cooccurrence neighbourhoods from
+// historical sessions.
+func Train(ds *sessions.Dataset, cfg Config) *Model {
+	if cfg.MaxNeighbors <= 0 {
+		cfg.MaxNeighbors = 100
+	}
+	if cfg.MaxSessionLength <= 0 {
+		cfg.MaxSessionLength = 50
+	}
+
+	itemCount := make(map[sessions.ItemID]int)
+	pairCount := make(map[pairKey]int)
+	for i := range ds.Sessions {
+		items := ds.Sessions[i].Items
+		if len(items) > cfg.MaxSessionLength {
+			items = items[:cfg.MaxSessionLength]
+		}
+		seen := make(map[sessions.ItemID]struct{}, len(items))
+		unique := make([]sessions.ItemID, 0, len(items))
+		for _, it := range items {
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			unique = append(unique, it)
+		}
+		for _, it := range unique {
+			itemCount[it]++
+		}
+		for x := 0; x < len(unique); x++ {
+			for y := x + 1; y < len(unique); y++ {
+				a, b := unique[x], unique[y]
+				if a > b {
+					a, b = b, a
+				}
+				pairCount[pairKey{a, b}]++
+			}
+		}
+	}
+
+	neighbors := make(map[sessions.ItemID][]core.ScoredItem, len(itemCount))
+	for pk, c := range pairCount {
+		sim := float64(c) / math.Sqrt(float64(itemCount[pk.a])*float64(itemCount[pk.b]))
+		neighbors[pk.a] = append(neighbors[pk.a], core.ScoredItem{Item: pk.b, Score: sim})
+		neighbors[pk.b] = append(neighbors[pk.b], core.ScoredItem{Item: pk.a, Score: sim})
+	}
+	for it, list := range neighbors {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Score != list[j].Score {
+				return list[i].Score > list[j].Score
+			}
+			return list[i].Item < list[j].Item
+		})
+		if len(list) > cfg.MaxNeighbors {
+			list = list[:cfg.MaxNeighbors:cfg.MaxNeighbors]
+		}
+		neighbors[it] = list
+	}
+	return &Model{neighbors: neighbors}
+}
+
+// Recommend returns the top-n neighbours of the most recent item of the
+// evolving session. Like the production legacy system, it is stateless with
+// respect to the rest of the session.
+func (m *Model) Recommend(evolving []sessions.ItemID, n int) []core.ScoredItem {
+	if len(evolving) == 0 || n <= 0 {
+		return nil
+	}
+	current := evolving[len(evolving)-1]
+	list := m.neighbors[current]
+	if len(list) > n {
+		list = list[:n]
+	}
+	out := make([]core.ScoredItem, len(list))
+	copy(out, list)
+	return out
+}
+
+// Neighbors exposes an item's full stored neighbourhood (read-only), for
+// inspection and tests.
+func (m *Model) Neighbors(item sessions.ItemID) []core.ScoredItem {
+	return m.neighbors[item]
+}

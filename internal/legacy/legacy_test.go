@@ -1,0 +1,110 @@
+package legacy
+
+import (
+	"math"
+	"testing"
+
+	"serenade/internal/sessions"
+)
+
+func dataset(lists ...[]sessions.ItemID) *sessions.Dataset {
+	var ss []sessions.Session
+	for i, items := range lists {
+		times := make([]int64, len(items))
+		for j := range times {
+			times[j] = int64(100*i + j)
+		}
+		ss = append(ss, sessions.Session{ID: sessions.SessionID(i), Items: items, Times: times})
+	}
+	return sessions.FromSessions("legacy-test", ss)
+}
+
+func TestCooccurrenceSimilarity(t *testing.T) {
+	// Items 1 and 2 co-occur in 2 of the sessions; item counts: 1 -> 3,
+	// 2 -> 2, so sim(1,2) = 2 / sqrt(3·2).
+	m := Train(dataset(
+		[]sessions.ItemID{1, 2},
+		[]sessions.ItemID{1, 2},
+		[]sessions.ItemID{1, 3},
+	), Config{})
+	recs := m.Recommend([]sessions.ItemID{1}, 10)
+	if len(recs) != 2 {
+		t.Fatalf("recommendations = %v, want items 2 and 3", recs)
+	}
+	if recs[0].Item != 2 {
+		t.Errorf("top item = %d, want 2", recs[0].Item)
+	}
+	want := 2.0 / math.Sqrt(3*2)
+	if math.Abs(recs[0].Score-want) > 1e-12 {
+		t.Errorf("sim(1,2) = %v, want %v", recs[0].Score, want)
+	}
+	// Symmetry.
+	back := m.Recommend([]sessions.ItemID{2}, 10)
+	if back[0].Item != 1 || math.Abs(back[0].Score-want) > 1e-12 {
+		t.Errorf("sim(2,1) = %+v, want symmetric %v", back[0], want)
+	}
+}
+
+func TestUsesOnlyMostRecentItem(t *testing.T) {
+	m := Train(dataset(
+		[]sessions.ItemID{1, 2},
+		[]sessions.ItemID{3, 4},
+	), Config{})
+	recs := m.Recommend([]sessions.ItemID{1, 3}, 10)
+	for _, r := range recs {
+		if r.Item == 2 {
+			t.Error("legacy model must ignore items before the most recent one")
+		}
+	}
+	if len(recs) != 1 || recs[0].Item != 4 {
+		t.Errorf("recs = %v, want just item 4", recs)
+	}
+}
+
+func TestDuplicatesWithinSessionCountOnce(t *testing.T) {
+	m := Train(dataset([]sessions.ItemID{1, 1, 2}, []sessions.ItemID{1, 3}), Config{})
+	recs := m.Recommend([]sessions.ItemID{1}, 10)
+	// sim(1,2) = 1/sqrt(2*1); duplicates must not inflate counts.
+	for _, r := range recs {
+		if r.Item == 2 {
+			want := 1.0 / math.Sqrt(2*1)
+			if math.Abs(r.Score-want) > 1e-12 {
+				t.Errorf("sim(1,2) = %v, want %v", r.Score, want)
+			}
+		}
+	}
+}
+
+func TestMaxNeighborsCap(t *testing.T) {
+	lists := [][]sessions.ItemID{}
+	for i := 1; i <= 10; i++ {
+		lists = append(lists, []sessions.ItemID{0, sessions.ItemID(i)})
+	}
+	m := Train(dataset(lists...), Config{MaxNeighbors: 3})
+	if got := len(m.Neighbors(0)); got != 3 {
+		t.Errorf("neighbors stored = %d, want cap 3", got)
+	}
+}
+
+func TestRecommendEdgeCases(t *testing.T) {
+	m := Train(dataset([]sessions.ItemID{1, 2}), Config{})
+	if m.Recommend(nil, 5) != nil {
+		t.Error("empty session must return nil")
+	}
+	if m.Recommend([]sessions.ItemID{1}, 0) != nil {
+		t.Error("n=0 must return nil")
+	}
+	if got := m.Recommend([]sessions.ItemID{99}, 5); len(got) != 0 {
+		t.Errorf("unknown item returned %v", got)
+	}
+}
+
+func TestRecommendCopiesResult(t *testing.T) {
+	m := Train(dataset([]sessions.ItemID{1, 2}, []sessions.ItemID{1, 3}), Config{})
+	a := m.Recommend([]sessions.ItemID{1}, 5)
+	a[0].Score = -1
+	b := m.Recommend([]sessions.ItemID{1}, 5)
+	if b[0].Score == -1 {
+		t.Error("mutating a result corrupted the model")
+	}
+}

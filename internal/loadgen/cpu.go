@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// cpuSampler reads the process's cumulative CPU time from /proc/self/stat.
+// On systems without procfs it degrades to reporting no samples; the load
+// test then simply omits the core-usage curve.
+type cpuSampler struct {
+	path string
+	// ticksPerSecond is the kernel clock tick rate (USER_HZ); 100 on
+	// effectively all Linux systems.
+	ticksPerSecond float64
+}
+
+func newCPUSampler() *cpuSampler {
+	return &cpuSampler{path: "/proc/self/stat", ticksPerSecond: 100}
+}
+
+// processCPUTime returns the cumulative user+system CPU time of the process.
+func (c *cpuSampler) processCPUTime() (time.Duration, bool) {
+	data, err := os.ReadFile(c.path)
+	if err != nil {
+		return 0, false
+	}
+	return parseProcStatCPU(string(data), c.ticksPerSecond)
+}
+
+// parseProcStatCPU extracts utime+stime (fields 14 and 15, 1-based) from a
+// /proc/<pid>/stat line. The command field (2) may contain spaces and
+// parentheses, so parsing starts after the final ')'.
+func parseProcStatCPU(stat string, ticksPerSecond float64) (time.Duration, bool) {
+	close := strings.LastIndexByte(stat, ')')
+	if close < 0 || close+2 > len(stat) {
+		return 0, false
+	}
+	fields := strings.Fields(stat[close+1:])
+	// fields[0] is state (field 3); utime is field 14 -> index 11.
+	if len(fields) < 13 {
+		return 0, false
+	}
+	utime, err1 := strconv.ParseUint(fields[11], 10, 64)
+	stime, err2 := strconv.ParseUint(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	seconds := float64(utime+stime) / ticksPerSecond
+	return time.Duration(seconds * float64(time.Second)), true
+}

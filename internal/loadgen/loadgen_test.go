@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"serenade/internal/sessions"
+)
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{TargetRPS: 0, Duration: time.Second}, func(uint64) error { return nil }); err == nil {
+		t.Error("zero RPS accepted")
+	}
+	if _, err := Run(Config{TargetRPS: 10, Duration: 0}, func(uint64) error { return nil }); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunAchievesApproximateRate(t *testing.T) {
+	var calls atomic.Uint64
+	res, err := Run(Config{TargetRPS: 500, Duration: 600 * time.Millisecond, Bucket: 100 * time.Millisecond},
+		func(uint64) error {
+			calls.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	// ~300 expected; allow wide scheduling slack.
+	if res.Sent < 150 || res.Sent > 450 {
+		t.Errorf("sent = %d, want roughly 300", res.Sent)
+	}
+	if calls.Load() != res.Sent {
+		t.Errorf("do() called %d times, sent = %d", calls.Load(), res.Sent)
+	}
+	if res.AchievedRPS < 200 || res.AchievedRPS > 800 {
+		t.Errorf("achieved RPS = %.0f, want near 500", res.AchievedRPS)
+	}
+	if res.Total.Count() != res.Sent {
+		t.Errorf("histogram count %d != sent %d", res.Total.Count(), res.Sent)
+	}
+	if len(res.Points) == 0 {
+		t.Error("no series points")
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	res, err := Run(Config{TargetRPS: 200, Duration: 300 * time.Millisecond},
+		func(i uint64) error {
+			if i%2 == 0 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("errors not counted")
+	}
+	if res.Errors > res.Sent {
+		t.Errorf("errors %d exceed sent %d", res.Errors, res.Sent)
+	}
+}
+
+func TestRunRecordsLatency(t *testing.T) {
+	res, err := Run(Config{TargetRPS: 100, Duration: 300 * time.Millisecond, Workers: 8},
+		func(uint64) error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p90 := res.Total.Percentile(90); p90 < time.Millisecond {
+		t.Errorf("p90 = %v, want >= 2ms-ish for a 2ms handler", p90)
+	}
+}
+
+func TestParseProcStatCPU(t *testing.T) {
+	// A realistic /proc/self/stat line; the command contains spaces and a
+	// parenthesis to exercise the parser. utime=250 stime=150 ticks.
+	stat := "1234 (weird (name) x) S 1 1 1 0 -1 4194560 500 0 0 0 250 150 0 0 20 0 8 0 100 1000000 200 18446744073709551615"
+	d, ok := parseProcStatCPU(stat, 100)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if want := 4 * time.Second; d != want {
+		t.Errorf("cpu time = %v, want %v", d, want)
+	}
+}
+
+func TestParseProcStatCPUMalformed(t *testing.T) {
+	for _, s := range []string{"", "no parens here", "1 (x) S 1 2 3"} {
+		if _, ok := parseProcStatCPU(s, 100); ok {
+			t.Errorf("malformed stat %q parsed", s)
+		}
+	}
+}
+
+func TestCPUSamplerLive(t *testing.T) {
+	c := newCPUSampler()
+	d, ok := c.processCPUTime()
+	if !ok {
+		t.Skip("no procfs on this system")
+	}
+	if d < 0 {
+		t.Errorf("cpu time = %v, want >= 0", d)
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	ds := sessions.FromSessions("w", []sessions.Session{
+		{ID: 0, Items: []sessions.ItemID{1, 2}, Times: []int64{10, 20}},
+		{ID: 1, Items: []sessions.ItemID{3}, Times: []int64{30}},
+	})
+	reqs := Workload(ds, 0)
+	if len(reqs) != 3 {
+		t.Fatalf("requests = %d, want 3", len(reqs))
+	}
+	if reqs[0].SessionKey != "replay-0" || reqs[2].SessionKey != "replay-1" {
+		t.Errorf("session keys wrong: %v", reqs)
+	}
+	if !reqs[0].Consent {
+		t.Error("replay requests must carry consent")
+	}
+	if limited := Workload(ds, 2); len(limited) != 2 {
+		t.Errorf("limited = %d, want 2", len(limited))
+	}
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import "serenade/internal/sessions"
+
+// CoverageAccumulator measures catalogue coverage and popularity bias of a
+// recommender — the standard session-rec companion metrics to accuracy:
+// a recommender that only ever surfaces the same few bestsellers can score
+// well on accuracy while being useless for discovery.
+type CoverageAccumulator struct {
+	catalogSize int
+	popularity  map[sessions.ItemID]int
+
+	recommended map[sessions.ItemID]struct{}
+	events      int
+	popSum      float64
+	popCount    int
+}
+
+// NewCoverageAccumulator creates an accumulator. catalogSize is the number
+// of recommendable items; popularity maps items to their training click
+// counts (used for the popularity-bias average).
+func NewCoverageAccumulator(catalogSize int, popularity map[sessions.ItemID]int) *CoverageAccumulator {
+	return &CoverageAccumulator{
+		catalogSize: catalogSize,
+		popularity:  popularity,
+		recommended: make(map[sessions.ItemID]struct{}),
+	}
+}
+
+// Add records one recommendation list.
+func (c *CoverageAccumulator) Add(recs []sessions.ItemID) {
+	c.events++
+	for _, it := range recs {
+		c.recommended[it] = struct{}{}
+		if c.popularity != nil {
+			c.popSum += float64(c.popularity[it])
+			c.popCount++
+		}
+	}
+}
+
+// CoverageReport summarises the accumulated lists.
+type CoverageReport struct {
+	// Coverage is the share of the catalogue that appeared in at least one
+	// recommendation list.
+	Coverage float64
+	// DistinctItems is the absolute number of distinct recommended items.
+	DistinctItems int
+	// MeanPopularity is the average training click count of recommended
+	// items (higher = stronger popularity bias).
+	MeanPopularity float64
+	// Events is the number of recommendation lists recorded.
+	Events int
+}
+
+// Report computes the summary.
+func (c *CoverageAccumulator) Report() CoverageReport {
+	r := CoverageReport{DistinctItems: len(c.recommended), Events: c.events}
+	if c.catalogSize > 0 {
+		r.Coverage = float64(len(c.recommended)) / float64(c.catalogSize)
+	}
+	if c.popCount > 0 {
+		r.MeanPopularity = c.popSum / float64(c.popCount)
+	}
+	return r
+}

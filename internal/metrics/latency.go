@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is a high-dynamic-range latency histogram. Values (durations in
+// nanoseconds) are bucketed logarithmically with 32 sub-buckets per power of
+// two, giving a relative error of about 3% — ample for the p75/p90/p99.5
+// percentile plots of Figures 3(b) and 3(c). The zero value is ready to use.
+// Histogram is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64 * subBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+const subBucketBits = 5
+const subBuckets = 1 << subBucketBits // 32
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - subBucketBits
+	sub := v >> uint(exp) // in [subBuckets, 2*subBuckets)
+	return int(exp+1)*subBuckets + int(sub-subBuckets)
+}
+
+// bucketValue returns a representative (midpoint) value for a bucket.
+func bucketValue(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	exp := uint(i/subBuckets - 1)
+	sub := uint64(i%subBuckets) + subBuckets
+	lo := sub << exp
+	return lo + (uint64(1)<<exp)/2
+}
+
+// Record adds a duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	h.mu.Lock()
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the mean observation.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the recorded
+// values, accurate to the histogram's bucket resolution.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return time.Duration(h.min)
+	}
+	if p >= 100 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	count, sum, min, max := other.count, other.sum, other.min, other.max
+	var snapshot [64 * subBuckets]uint64
+	copy(snapshot[:], other.buckets[:])
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range snapshot {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.count += count
+	h.sum += sum
+	h.mu.Unlock()
+}
+
+// Summary formats the percentiles the paper quotes.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p75=%v p90=%v p99=%v p99.5=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(75), h.Percentile(90),
+		h.Percentile(99), h.Percentile(99.5), h.Max())
+}
+
+// SeriesPoint is one time bucket of a latency series.
+type SeriesPoint struct {
+	// Offset is the bucket start relative to the series start.
+	Offset time.Duration
+	// Requests is the number of observations in the bucket.
+	Requests uint64
+	P75      time.Duration
+	P90      time.Duration
+	P995     time.Duration
+}
+
+// Series collects per-time-bucket latency distributions, producing the
+// requests-per-second and latency-percentile curves of Figures 3(b)/3(c).
+// Series is safe for concurrent use.
+type Series struct {
+	bucket time.Duration
+
+	mu    sync.Mutex
+	hists []*Histogram
+}
+
+// NewSeries creates a series with the given time-bucket width.
+func NewSeries(bucket time.Duration) *Series {
+	if bucket <= 0 {
+		panic("metrics: series bucket width must be positive")
+	}
+	return &Series{bucket: bucket}
+}
+
+// Record adds an observation at the given offset from the series start.
+func (s *Series) Record(offset time.Duration, d time.Duration) {
+	if offset < 0 {
+		offset = 0
+	}
+	idx := int(offset / s.bucket)
+	s.mu.Lock()
+	for len(s.hists) <= idx {
+		s.hists = append(s.hists, &Histogram{})
+	}
+	h := s.hists[idx]
+	s.mu.Unlock()
+	h.Record(d)
+}
+
+// Points returns one point per bucket in time order.
+func (s *Series) Points() []SeriesPoint {
+	s.mu.Lock()
+	hists := make([]*Histogram, len(s.hists))
+	copy(hists, s.hists)
+	s.mu.Unlock()
+	pts := make([]SeriesPoint, len(hists))
+	for i, h := range hists {
+		pts[i] = SeriesPoint{
+			Offset:   time.Duration(i) * s.bucket,
+			Requests: h.Count(),
+			P75:      h.Percentile(75),
+			P90:      h.Percentile(90),
+			P995:     h.Percentile(99.5),
+		}
+	}
+	return pts
+}
+
+// Total merges all buckets into a single histogram.
+func (s *Series) Total() *Histogram {
+	total := &Histogram{}
+	s.mu.Lock()
+	hists := make([]*Histogram, len(s.hists))
+	copy(hists, s.hists)
+	s.mu.Unlock()
+	for _, h := range hists {
+		total.Merge(h)
+	}
+	return total
+}

@@ -1,0 +1,348 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"serenade/internal/sessions"
+)
+
+func items(ids ...int) []sessions.ItemID {
+	out := make([]sessions.ItemID, len(ids))
+	for i, v := range ids {
+		out[i] = sessions.ItemID(v)
+	}
+	return out
+}
+
+func TestNewRankingAccumulatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewRankingAccumulator(0)
+}
+
+func TestRankingPerfectPrediction(t *testing.T) {
+	a := NewRankingAccumulator(20)
+	a.Add(items(5, 6, 7), 5, items(5, 6, 7))
+	r := a.Report()
+	if r.MRR != 1.0 || r.HitRate != 1.0 {
+		t.Errorf("MRR=%v HR=%v, want 1 1", r.MRR, r.HitRate)
+	}
+	if r.Recall != 1.0 {
+		t.Errorf("Recall=%v, want 1", r.Recall)
+	}
+	if want := 3.0 / 20.0; math.Abs(r.Precision-want) > 1e-12 {
+		t.Errorf("Precision=%v, want %v", r.Precision, want)
+	}
+	if r.MAP != 1.0 {
+		t.Errorf("MAP=%v, want 1 (all hits at top ranks, denom=min(k,|rest|)=3)", r.MAP)
+	}
+}
+
+func TestRankingMRRPosition(t *testing.T) {
+	a := NewRankingAccumulator(20)
+	a.Add(items(9, 8, 5), 5, items(5))
+	r := a.Report()
+	if want := 1.0 / 3.0; math.Abs(r.MRR-want) > 1e-12 {
+		t.Errorf("MRR=%v, want %v", r.MRR, want)
+	}
+	if r.HitRate != 1.0 {
+		t.Errorf("HR=%v, want 1", r.HitRate)
+	}
+}
+
+func TestRankingMiss(t *testing.T) {
+	a := NewRankingAccumulator(3)
+	a.Add(items(1, 2, 3), 9, items(9, 10))
+	r := a.Report()
+	if r.MRR != 0 || r.HitRate != 0 || r.Precision != 0 || r.Recall != 0 || r.MAP != 0 {
+		t.Errorf("all metrics should be zero on a miss, got %+v", r)
+	}
+}
+
+func TestRankingCutoffRespected(t *testing.T) {
+	a := NewRankingAccumulator(2)
+	// next item is at rank 3, beyond the cutoff
+	a.Add(items(1, 2, 9), 9, items(9))
+	r := a.Report()
+	if r.MRR != 0 || r.HitRate != 0 {
+		t.Errorf("beyond-cutoff hit must not count: %+v", r)
+	}
+}
+
+func TestRankingAveragesOverEvents(t *testing.T) {
+	a := NewRankingAccumulator(10)
+	a.Add(items(5), 5, items(5)) // hit at 1
+	a.Add(items(1), 5, items(5)) // miss
+	r := a.Report()
+	if r.MRR != 0.5 || r.HitRate != 0.5 {
+		t.Errorf("MRR=%v HR=%v, want 0.5 0.5", r.MRR, r.HitRate)
+	}
+	if r.N != 2 {
+		t.Errorf("N=%d, want 2", r.N)
+	}
+}
+
+func TestRankingEmptyReport(t *testing.T) {
+	r := NewRankingAccumulator(20).Report()
+	if r.MRR != 0 || r.N != 0 {
+		t.Errorf("empty report should be zero: %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestRankingShortRecList(t *testing.T) {
+	a := NewRankingAccumulator(20)
+	a.Add(nil, 5, items(5))
+	if r := a.Report(); r.MRR != 0 {
+		t.Errorf("empty rec list must score 0: %+v", r)
+	}
+}
+
+func TestRankingDuplicateNextCountsOnce(t *testing.T) {
+	a := NewRankingAccumulator(10)
+	a.Add(items(5, 5, 5), 5, items(5))
+	r := a.Report()
+	if r.MRR != 1.0 || r.HitRate != 1.0 {
+		t.Errorf("duplicate next must count once at best rank: %+v", r)
+	}
+}
+
+// TestRankingPropertyBounds: every metric lies in [0,1] for random inputs.
+func TestRankingPropertyBounds(t *testing.T) {
+	prop := func(recSeed, restSeed []uint8, next uint8) bool {
+		a := NewRankingAccumulator(10)
+		recs := make([]sessions.ItemID, len(recSeed))
+		for i, v := range recSeed {
+			recs[i] = sessions.ItemID(v % 32)
+		}
+		rest := make([]sessions.ItemID, 0, len(restSeed)+1)
+		for _, v := range restSeed {
+			rest = append(rest, sessions.ItemID(v%32))
+		}
+		rest = append(rest, sessions.ItemID(next%32))
+		a.Add(recs, sessions.ItemID(next%32), rest)
+		r := a.Report()
+		for _, m := range []float64{r.MRR, r.HitRate, r.Precision, r.Recall, r.MAP} {
+			if m < 0 || m > 1 || math.IsNaN(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if got := Quantile(vals, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(vals, 1); got != 4 {
+		t.Errorf("q1 = %v, want 4", got)
+	}
+	if got := Quantile(vals, 0.5); got != 2.5 {
+		t.Errorf("q0.5 = %v, want 2.5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("q of empty = %v, want 0", got)
+	}
+	// input must not be mutated
+	if vals[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Percentile(50) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Errorf("p50 = %v, want ~50ms", p50)
+	}
+	p90 := h.Percentile(90)
+	if p90 < 85*time.Millisecond || p90 > 95*time.Millisecond {
+		t.Errorf("p90 = %v, want ~90ms", p90)
+	}
+	if h.Percentile(0) > h.Percentile(100) {
+		t.Error("p0 > p100")
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", h.Max())
+	}
+	if h.Summary() == "" {
+		t.Error("Summary empty")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := &Histogram{}
+	h.Record(-5 * time.Millisecond)
+	if h.Percentile(100) != 0 {
+		t.Errorf("negative duration should clamp to 0, got %v", h.Percentile(100))
+	}
+}
+
+// TestHistogramAccuracy: bucketed percentiles stay within ~4% relative
+// error of exact percentiles over a wide dynamic range.
+func TestHistogramAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := &Histogram{}
+	var exact []float64
+	for i := 0; i < 20000; i++ {
+		// log-uniform between 1µs and 1s
+		v := math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3
+		exact = append(exact, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Float64s(exact)
+	for _, p := range []float64{50, 75, 90, 99, 99.5} {
+		want := exact[int(p/100*float64(len(exact)))]
+		got := float64(h.Percentile(p))
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("p%.1f: got %.0f want %.0f rel err %.3f", p, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(rng.Intn(1000)) * time.Microsecond)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	a.Record(1 * time.Millisecond)
+	b.Record(100 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+	if a.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", a.Max())
+	}
+	empty := &Histogram{}
+	a.Merge(empty) // merging empty is a no-op
+	if a.Count() != 2 {
+		t.Errorf("Count after empty merge = %d, want 2", a.Count())
+	}
+}
+
+func TestBucketRoundTripMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 100, 1000, 1 << 20, 1 << 40} {
+		idx := bucketIndex(v)
+		if idx <= prev && v > 0 {
+			// indexes must be non-decreasing in v
+			t.Errorf("bucketIndex(%d) = %d not increasing past %d", v, idx, prev)
+		}
+		prev = idx
+		rep := bucketValue(idx)
+		if v >= 32 {
+			if rel := math.Abs(float64(rep)-float64(v)) / float64(v); rel > 0.05 {
+				t.Errorf("bucketValue(bucketIndex(%d)) = %d, rel err %.3f", v, rep, rel)
+			}
+		} else if rep != v {
+			t.Errorf("small value %d must be exact, got %d", v, rep)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Record(0, 5*time.Millisecond)
+	s.Record(500*time.Millisecond, 7*time.Millisecond)
+	s.Record(1500*time.Millisecond, 9*time.Millisecond)
+	s.Record(-time.Second, time.Millisecond) // clamped to bucket 0
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].Requests != 3 || pts[1].Requests != 1 {
+		t.Errorf("requests = %d,%d want 3,1", pts[0].Requests, pts[1].Requests)
+	}
+	if pts[1].Offset != time.Second {
+		t.Errorf("offset = %v, want 1s", pts[1].Offset)
+	}
+	if total := s.Total(); total.Count() != 4 {
+		t.Errorf("Total count = %d, want 4", total.Count())
+	}
+}
+
+func TestNewSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestCoverageAccumulator(t *testing.T) {
+	pop := map[sessions.ItemID]int{1: 100, 2: 50, 3: 10}
+	c := NewCoverageAccumulator(10, pop)
+	c.Add(items(1, 2))
+	c.Add(items(2, 3))
+	r := c.Report()
+	if r.DistinctItems != 3 {
+		t.Errorf("distinct = %d, want 3", r.DistinctItems)
+	}
+	if math.Abs(r.Coverage-0.3) > 1e-12 {
+		t.Errorf("coverage = %v, want 0.3", r.Coverage)
+	}
+	if want := (100.0 + 50 + 50 + 10) / 4; math.Abs(r.MeanPopularity-want) > 1e-12 {
+		t.Errorf("mean popularity = %v, want %v", r.MeanPopularity, want)
+	}
+	if r.Events != 2 {
+		t.Errorf("events = %d, want 2", r.Events)
+	}
+}
+
+func TestCoverageAccumulatorEmpty(t *testing.T) {
+	r := NewCoverageAccumulator(0, nil).Report()
+	if r.Coverage != 0 || r.MeanPopularity != 0 || r.DistinctItems != 0 {
+		t.Errorf("empty report not zero: %+v", r)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}

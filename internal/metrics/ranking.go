@@ -1,0 +1,146 @@
+// Package metrics implements the evaluation metrics used throughout the
+// paper: ranking quality (MRR@k, Precision@k, Recall@k, MAP@k, HitRate@k)
+// following the session-rec evaluation protocol of Ludewig & Jannach, and
+// latency measurement (high-dynamic-range histograms with percentile
+// queries, plus time-bucketed series for the load-test and A/B-test plots).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"serenade/internal/sessions"
+)
+
+// RankingAccumulator accumulates ranking metrics over next-item prediction
+// events. For each prefix of a test session, a recommender produces a ranked
+// list; the immediate next item scores MRR@k and HitRate@k, while the set of
+// all remaining session items scores Precision@k, Recall@k and MAP@k — the
+// protocol of the paper's §5.1.1.
+type RankingAccumulator struct {
+	K int
+
+	n         int
+	sumMRR    float64
+	sumHit    float64
+	sumPrec   float64
+	sumRecall float64
+	sumAP     float64
+}
+
+// NewRankingAccumulator returns an accumulator with cutoff k. It panics if
+// k < 1.
+func NewRankingAccumulator(k int) *RankingAccumulator {
+	if k < 1 {
+		panic("metrics: cutoff k must be at least 1")
+	}
+	return &RankingAccumulator{K: k}
+}
+
+// Add records one prediction event. recs is the ranked recommendation list
+// (best first), next the immediate next item, rest all remaining items of
+// the session including next. Recommendations beyond position K are ignored.
+func (a *RankingAccumulator) Add(recs []sessions.ItemID, next sessions.ItemID, rest []sessions.ItemID) {
+	a.n++
+	k := a.K
+	if len(recs) < k {
+		k = len(recs)
+	}
+	restSet := make(map[sessions.ItemID]struct{}, len(rest))
+	for _, it := range rest {
+		restSet[it] = struct{}{}
+	}
+
+	// Each relevant item counts at most once even if the list repeats it
+	// (standard IR semantics; also keeps Recall <= 1 on malformed lists).
+	hits := 0
+	sumPrecAtHits := 0.0
+	nextFound := false
+	matched := make(map[sessions.ItemID]struct{}, k)
+	for i := 0; i < k; i++ {
+		r := recs[i]
+		if !nextFound && r == next {
+			a.sumMRR += 1.0 / float64(i+1)
+			a.sumHit++
+			nextFound = true
+		}
+		if _, ok := restSet[r]; !ok {
+			continue
+		}
+		if _, dup := matched[r]; dup {
+			continue
+		}
+		matched[r] = struct{}{}
+		hits++
+		sumPrecAtHits += float64(hits) / float64(i+1)
+	}
+	a.sumPrec += float64(hits) / float64(a.K)
+	if len(restSet) > 0 {
+		a.sumRecall += float64(hits) / float64(len(restSet))
+	}
+	denom := len(restSet)
+	if a.K < denom {
+		denom = a.K
+	}
+	if denom > 0 {
+		a.sumAP += sumPrecAtHits / float64(denom)
+	}
+}
+
+// N reports the number of recorded events.
+func (a *RankingAccumulator) N() int { return a.n }
+
+// Report holds averaged ranking metrics.
+type Report struct {
+	K                               int
+	N                               int
+	MRR, HitRate, Precision, Recall float64
+	MAP                             float64
+}
+
+// Report averages the accumulated metrics. All metrics are zero when no
+// events were recorded.
+func (a *RankingAccumulator) Report() Report {
+	r := Report{K: a.K, N: a.n}
+	if a.n == 0 {
+		return r
+	}
+	f := float64(a.n)
+	r.MRR = a.sumMRR / f
+	r.HitRate = a.sumHit / f
+	r.Precision = a.sumPrec / f
+	r.Recall = a.sumRecall / f
+	r.MAP = a.sumAP / f
+	return r
+}
+
+// String formats the report the way the paper quotes metrics.
+func (r Report) String() string {
+	return fmt.Sprintf("MRR@%d=%.4f HR@%d=%.4f Prec@%d=%.4f R@%d=%.4f MAP@%d=%.4f (n=%d)",
+		r.K, r.MRR, r.K, r.HitRate, r.K, r.Precision, r.K, r.Recall, r.K, r.MAP, r.N)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of values using linear
+// interpolation between order statistics. It returns 0 for empty input.
+// values need not be sorted; a sorted copy is made.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

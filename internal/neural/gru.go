@@ -1,0 +1,43 @@
+package neural
+
+import "math/rand"
+
+// GRUCell is a gated recurrent unit:
+//
+//	z = σ(Wz·x + Uz·h + bz)        update gate
+//	r = σ(Wr·x + Ur·h + br)        reset gate
+//	h̃ = tanh(Wh·x + Uh·(r⊙h) + bh) candidate state
+//	h' = (1−z)⊙h + z⊙h̃
+type GRUCell struct {
+	Wz, Uz, Bz *Param
+	Wr, Ur, Br *Param
+	Wh, Uh, Bh *Param
+	hidden     int
+}
+
+// NewGRUCell allocates a GRU mapping inputs of size in to a hidden state of
+// size hidden.
+func NewGRUCell(in, hidden int, rng *rand.Rand) *GRUCell {
+	return &GRUCell{
+		Wz: NewParam("gru.Wz", hidden, in, rng), Uz: NewParam("gru.Uz", hidden, hidden, rng), Bz: NewZeroParam("gru.bz", hidden, 1),
+		Wr: NewParam("gru.Wr", hidden, in, rng), Ur: NewParam("gru.Ur", hidden, hidden, rng), Br: NewZeroParam("gru.br", hidden, 1),
+		Wh: NewParam("gru.Wh", hidden, in, rng), Uh: NewParam("gru.Uh", hidden, hidden, rng), Bh: NewZeroParam("gru.bh", hidden, 1),
+		hidden: hidden,
+	}
+}
+
+// Params lists the cell's trainable parameters.
+func (c *GRUCell) Params() []*Param {
+	return []*Param{c.Wz, c.Uz, c.Bz, c.Wr, c.Ur, c.Br, c.Wh, c.Uh, c.Bh}
+}
+
+// Hidden reports the state size.
+func (c *GRUCell) Hidden() int { return c.hidden }
+
+// Step advances the recurrence by one input.
+func (c *GRUCell) Step(t *Tape, x, h *Vec) *Vec {
+	z := t.Sigmoid(t.AddBias(t.Add(t.MatVec(c.Wz, x), t.MatVec(c.Uz, h)), c.Bz))
+	r := t.Sigmoid(t.AddBias(t.Add(t.MatVec(c.Wr, x), t.MatVec(c.Ur, h)), c.Br))
+	cand := t.Tanh(t.AddBias(t.Add(t.MatVec(c.Wh, x), t.MatVec(c.Uh, t.Mul(r, h))), c.Bh))
+	return t.Add(t.Mul(t.OneMinus(z), h), t.Mul(z, cand))
+}

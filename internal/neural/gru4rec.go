@@ -1,0 +1,98 @@
+package neural
+
+import (
+	"math/rand"
+
+	"serenade/internal/sessions"
+)
+
+// GRU4Rec is the session-based recurrent recommender of Hidasi et al.
+// (ICLR 2016): item embeddings feed a GRU whose hidden state is projected
+// onto the item vocabulary; each click is trained to predict the next.
+type GRU4Rec struct {
+	cfg  Config
+	emb  *Param // items × embed
+	cell *GRUCell
+	out  *Param // items × hidden
+	bOut *Param // items × 1
+	opt  *Optimizer
+	rng  *rand.Rand // negative sampling for the ranking losses
+}
+
+// NewGRU4Rec allocates the model.
+func NewGRU4Rec(cfg Config) *GRU4Rec {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &GRU4Rec{
+		cfg:  cfg,
+		emb:  NewParam("gru4rec.emb", cfg.NumItems, cfg.EmbedDim, rng),
+		cell: NewGRUCell(cfg.EmbedDim, cfg.HiddenDim, rng),
+		out:  NewParam("gru4rec.out", cfg.NumItems, cfg.HiddenDim, rng),
+		bOut: NewZeroParam("gru4rec.bout", cfg.NumItems, 1),
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	params := append([]*Param{m.emb, m.out, m.bOut}, m.cell.Params()...)
+	m.opt = &Optimizer{LR: cfg.LR, Params: params}
+	return m
+}
+
+// Name implements Model.
+func (m *GRU4Rec) Name() string {
+	if m.cfg.Loss == CrossEntropyLoss {
+		return "GRU4Rec"
+	}
+	return "GRU4Rec-" + m.cfg.Loss.String()
+}
+
+// forward runs the recurrence over the session prefix and returns the
+// hidden states after each input item.
+func (m *GRU4Rec) forward(t *Tape, items []sessions.ItemID) []*Vec {
+	h := NewVec(m.cfg.HiddenDim)
+	states := make([]*Vec, 0, len(items))
+	for _, it := range items {
+		x := t.Lookup(m.emb, int(it))
+		h = m.cell.Step(t, x, h)
+		states = append(states, h)
+	}
+	return states
+}
+
+// TrainSession implements Model.
+func (m *GRU4Rec) TrainSession(items []sessions.ItemID) float64 {
+	items = truncateSession(items, m.cfg.MaxLen)
+	if len(items) < 2 {
+		return 0
+	}
+	t := &Tape{}
+	states := m.forward(t, items[:len(items)-1])
+	loss := 0.0
+	for i, h := range states {
+		target := int(items[i+1])
+		switch m.cfg.Loss {
+		case BPRLoss, TOP1Loss:
+			rows := append([]int{target}, sampleNegatives(m.rng, m.cfg.NumItems, target, m.cfg.NegSamples)...)
+			scores := t.RowsAffine(m.out, m.bOut, h, rows)
+			if m.cfg.Loss == BPRLoss {
+				loss += BPRFromScores(scores)
+			} else {
+				loss += TOP1FromScores(scores)
+			}
+		default:
+			logits := t.AddBias(t.MatVec(m.out, h), m.bOut)
+			loss += SoftmaxCrossEntropy(logits, target, 1)
+		}
+	}
+	t.Backward()
+	m.opt.Step()
+	return loss
+}
+
+// Scores implements Model.
+func (m *GRU4Rec) Scores(evolving []sessions.ItemID) []float64 {
+	evolving = truncateSession(evolving, m.cfg.MaxLen)
+	t := &Tape{}
+	states := m.forward(t, evolving)
+	h := states[len(states)-1]
+	logits := t.AddBias(t.MatVec(m.out, h), m.bOut)
+	return logits.X
+}

@@ -1,0 +1,139 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Loss selects the training objective. The original GRU4Rec paper trains
+// with pairwise ranking losses over sampled negatives (BPR and TOP1) rather
+// than full softmax, which is what makes it tractable for large item
+// catalogs.
+type Loss int
+
+const (
+	// CrossEntropyLoss is full softmax cross-entropy over the vocabulary.
+	CrossEntropyLoss Loss = iota
+	// BPRLoss is Bayesian Personalised Ranking over sampled negatives:
+	// −log σ(s_target − s_negative), averaged over the samples.
+	BPRLoss
+	// TOP1Loss is GRU4Rec's regularised pairwise loss:
+	// σ(s_neg − s_target) + σ(s_neg²), averaged over the samples.
+	TOP1Loss
+)
+
+// String names the loss for experiment tables.
+func (l Loss) String() string {
+	switch l {
+	case BPRLoss:
+		return "bpr"
+	case TOP1Loss:
+		return "top1"
+	default:
+		return "cross-entropy"
+	}
+}
+
+// RowsDot computes y_r = W[rows[r]]·x for a subset of the rows of W — the
+// sampled-score computation that lets ranking losses avoid touching the
+// whole output matrix.
+func (t *Tape) RowsDot(w *Param, x *Vec, rows []int) *Vec {
+	out := NewVec(len(rows))
+	for r, row := range rows {
+		wr := w.W[row*w.Cols : (row+1)*w.Cols]
+		s := 0.0
+		for c, xv := range x.X {
+			s += wr[c] * xv
+		}
+		out.X[r] = s
+	}
+	t.record(func() {
+		for r, row := range rows {
+			g := out.G[r]
+			if g == 0 {
+				continue
+			}
+			wr := w.W[row*w.Cols : (row+1)*w.Cols]
+			gr := w.G[row*w.Cols : (row+1)*w.Cols]
+			for c := range x.X {
+				gr[c] += g * x.X[c]
+				x.G[c] += g * wr[c]
+			}
+		}
+	})
+	return out
+}
+
+// RowsAffine is RowsDot plus a per-row bias: y_r = W[rows[r]]·x + b[rows[r]].
+func (t *Tape) RowsAffine(w, b *Param, x *Vec, rows []int) *Vec {
+	out := t.RowsDot(w, x, rows)
+	for r, row := range rows {
+		out.X[r] += b.W[row]
+	}
+	t.record(func() {
+		for r, row := range rows {
+			b.G[row] += out.G[r]
+		}
+	})
+	return out
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// BPRFromScores seeds gradients for the BPR loss on a score vector whose
+// first entry is the target and the rest sampled negatives, and returns the
+// loss value.
+func BPRFromScores(scores *Vec) float64 {
+	n := scores.Len() - 1
+	if n <= 0 {
+		return 0
+	}
+	target := scores.X[0]
+	loss := 0.0
+	inv := 1 / float64(n)
+	for j := 1; j <= n; j++ {
+		diff := target - scores.X[j]
+		loss += -math.Log(sigmoid(diff) + 1e-24)
+		g := sigmoid(-diff) * inv // σ(s_j − s_target)
+		scores.G[j] += g
+		scores.G[0] -= g
+	}
+	return loss * inv
+}
+
+// TOP1FromScores seeds gradients for the TOP1 loss (same layout as
+// BPRFromScores) and returns the loss value.
+func TOP1FromScores(scores *Vec) float64 {
+	n := scores.Len() - 1
+	if n <= 0 {
+		return 0
+	}
+	target := scores.X[0]
+	loss := 0.0
+	inv := 1 / float64(n)
+	for j := 1; j <= n; j++ {
+		sj := scores.X[j]
+		a := sigmoid(sj - target)
+		b := sigmoid(sj * sj)
+		loss += a + b
+		// d/ds_j = σ'(s_j − s_t) + 2·s_j·σ'(s_j²); σ'(x) = σ(x)(1−σ(x)).
+		scores.G[j] += (a*(1-a) + 2*sj*b*(1-b)) * inv
+		scores.G[0] -= a * (1 - a) * inv
+	}
+	return loss * inv
+}
+
+// sampleNegatives draws n item ids uniformly from [0, vocab) excluding the
+// target (uniform sampling; the original paper also supports
+// popularity-based sampling via minibatch items).
+func sampleNegatives(rng *rand.Rand, vocab, target, n int) []int {
+	out := make([]int, 0, n)
+	for len(out) < n {
+		v := rng.Intn(vocab)
+		if v == target {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package neural
+
+import (
+	"math/rand"
+	"sort"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// Model is a trainable session-based recommender.
+type Model interface {
+	// Name identifies the architecture (for experiment tables).
+	Name() string
+	// TrainSession runs one optimisation step on a session's click
+	// sequence and returns the summed next-item cross-entropy loss.
+	TrainSession(items []sessions.ItemID) float64
+	// Scores returns unnormalised next-item scores over the full item
+	// vocabulary for an evolving session.
+	Scores(evolving []sessions.ItemID) []float64
+}
+
+// Config shapes a neural model.
+type Config struct {
+	// NumItems is the dense item vocabulary size.
+	NumItems int
+	// EmbedDim is the item embedding width.
+	EmbedDim int
+	// HiddenDim is the recurrent/hidden layer width.
+	HiddenDim int
+	// LR is the Adagrad learning rate.
+	LR float64
+	// MaxLen truncates training sessions (cost is quadratic in length for
+	// the attention models). 0 means 20.
+	MaxLen int
+	// Loss selects the training objective (GRU4Rec only; the attention
+	// models always train with full cross-entropy).
+	Loss Loss
+	// NegSamples is the number of sampled negatives per step for the
+	// ranking losses; 0 means 32.
+	NegSamples int
+	Seed       int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 32
+	}
+	if c.HiddenDim == 0 {
+		c.HiddenDim = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 20
+	}
+	if c.NegSamples == 0 {
+		c.NegSamples = 32
+	}
+	return c
+}
+
+// truncateSession caps a session to its most recent maxLen items.
+func truncateSession(items []sessions.ItemID, maxLen int) []sessions.ItemID {
+	if len(items) > maxLen {
+		return items[len(items)-maxLen:]
+	}
+	return items
+}
+
+// Recommend ranks the model's scores and returns the top n items.
+func Recommend(m Model, evolving []sessions.ItemID, n int) []core.ScoredItem {
+	if len(evolving) == 0 || n <= 0 {
+		return nil
+	}
+	scores := m.Scores(evolving)
+	out := make([]core.ScoredItem, 0, len(scores))
+	for item, s := range scores {
+		out = append(out, core.ScoredItem{Item: sessions.ItemID(item), Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Fit trains the model for the given number of epochs over the dataset's
+// sessions (shuffled per epoch) and returns the mean per-session loss of
+// each epoch.
+func Fit(m Model, ds *sessions.Dataset, epochs int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	order := make([]int, len(ds.Sessions))
+	for i := range order {
+		order[i] = i
+	}
+	var losses []float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total, n := 0.0, 0
+		for _, si := range order {
+			items := ds.Sessions[si].Items
+			if len(items) < 2 {
+				continue
+			}
+			total += m.TrainSession(items)
+			n++
+		}
+		if n == 0 {
+			losses = append(losses, 0)
+			continue
+		}
+		losses = append(losses, total/float64(n))
+	}
+	return losses
+}

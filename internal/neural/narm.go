@@ -1,0 +1,106 @@
+package neural
+
+import (
+	"math/rand"
+
+	"serenade/internal/sessions"
+)
+
+// NARM is the neural attentive session recommender of Li et al. (CIKM
+// 2017): a GRU encoder whose final state acts as a global representation,
+// combined with an attention-weighted sum of all hidden states (the local,
+// purpose-capturing representation); the concatenation scores items through
+// a bilinear decoder.
+type NARM struct {
+	cfg  Config
+	emb  *Param // items × embed
+	cell *GRUCell
+	a1   *Param // hidden × hidden (query projection)
+	a2   *Param // hidden × hidden (key projection)
+	v    *Param // 1 × hidden (attention energy)
+	dec  *Param // items × 2·hidden (bilinear decoder over [global; local])
+	opt  *Optimizer
+}
+
+// NewNARM allocates the model.
+func NewNARM(cfg Config) *NARM {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &NARM{
+		cfg:  cfg,
+		emb:  NewParam("narm.emb", cfg.NumItems, cfg.EmbedDim, rng),
+		cell: NewGRUCell(cfg.EmbedDim, cfg.HiddenDim, rng),
+		a1:   NewParam("narm.A1", cfg.HiddenDim, cfg.HiddenDim, rng),
+		a2:   NewParam("narm.A2", cfg.HiddenDim, cfg.HiddenDim, rng),
+		v:    NewParam("narm.v", 1, cfg.HiddenDim, rng),
+		dec:  NewParam("narm.dec", cfg.NumItems, 2*cfg.HiddenDim, rng),
+	}
+	params := append([]*Param{m.emb, m.a1, m.a2, m.v, m.dec}, m.cell.Params()...)
+	m.opt = &Optimizer{LR: cfg.LR, Params: params}
+	return m
+}
+
+// Name implements Model.
+func (m *NARM) Name() string { return "NARM" }
+
+// logitsAt computes the decoder logits for the prefix ending at position
+// last (inclusive) given all hidden states up to last.
+func (m *NARM) logitsAt(t *Tape, states []*Vec, last int) *Vec {
+	hLast := states[last]
+	query := t.MatVec(m.a1, hLast)
+	energies := NewVec(last + 1)
+	parts := make([]*Vec, last+1)
+	for j := 0; j <= last; j++ {
+		key := t.MatVec(m.a2, states[j])
+		e := t.Dot(t.Lookup(m.v, 0), t.Sigmoid(t.Add(query, key)))
+		parts[j] = e
+		energies.X[j] = e.X[0]
+	}
+	// Bridge the per-position scalars into one vector node.
+	t.record(func() {
+		for j, p := range parts {
+			p.G[0] += energies.G[j]
+		}
+	})
+	alpha := t.Softmax(energies)
+	local := t.WeightedSum(states[:last+1], alpha)
+	ctx := t.Concat2(hLast, local)
+	return t.MatVec(m.dec, ctx)
+}
+
+func (m *NARM) forward(t *Tape, items []sessions.ItemID) []*Vec {
+	h := NewVec(m.cfg.HiddenDim)
+	states := make([]*Vec, 0, len(items))
+	for _, it := range items {
+		x := t.Lookup(m.emb, int(it))
+		h = m.cell.Step(t, x, h)
+		states = append(states, h)
+	}
+	return states
+}
+
+// TrainSession implements Model.
+func (m *NARM) TrainSession(items []sessions.ItemID) float64 {
+	items = truncateSession(items, m.cfg.MaxLen)
+	if len(items) < 2 {
+		return 0
+	}
+	t := &Tape{}
+	states := m.forward(t, items[:len(items)-1])
+	loss := 0.0
+	for i := range states {
+		logits := m.logitsAt(t, states, i)
+		loss += SoftmaxCrossEntropy(logits, int(items[i+1]), 1)
+	}
+	t.Backward()
+	m.opt.Step()
+	return loss
+}
+
+// Scores implements Model.
+func (m *NARM) Scores(evolving []sessions.ItemID) []float64 {
+	evolving = truncateSession(evolving, m.cfg.MaxLen)
+	t := &Tape{}
+	states := m.forward(t, evolving)
+	return m.logitsAt(t, states, len(states)-1).X
+}

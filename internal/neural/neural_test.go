@@ -1,0 +1,288 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serenade/internal/sessions"
+)
+
+const gradTol = 1e-5
+
+// checkGradients compares analytic gradients against central finite
+// differences for every parameter of a model, using loss() as the scalar
+// objective. loss() must be a pure function of the parameters that seeds
+// gradients via SoftmaxCrossEntropy and a tape Backward.
+func checkGradients(t *testing.T, params []*Param, lossAndBackward func() float64, lossOnly func() float64) {
+	t.Helper()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	lossAndBackward()
+	analytic := make(map[string][]float64)
+	for _, p := range params {
+		g := make([]float64, len(p.G))
+		copy(g, p.G)
+		analytic[p.Name] = g
+		p.ZeroGrad()
+	}
+
+	const h = 1e-6
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range params {
+		// Sample a handful of entries per parameter.
+		checks := 4
+		if len(p.W) < checks {
+			checks = len(p.W)
+		}
+		for c := 0; c < checks; c++ {
+			i := rng.Intn(len(p.W))
+			orig := p.W[i]
+			p.W[i] = orig + h
+			up := lossOnly()
+			p.W[i] = orig - h
+			down := lossOnly()
+			p.W[i] = orig
+			numeric := (up - down) / (2 * h)
+			got := analytic[p.Name][i]
+			if math.Abs(got-numeric) > gradTol*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: analytic %.8f vs numeric %.8f", p.Name, i, got, numeric)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func zeroAll(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+func TestGRU4RecGradients(t *testing.T) {
+	m := NewGRU4Rec(Config{NumItems: 6, EmbedDim: 4, HiddenDim: 3, Seed: 9})
+	items := []sessions.ItemID{0, 2, 4, 1}
+	params := m.opt.Params
+	forwardLoss := func() float64 {
+		tp := &Tape{}
+		states := m.forward(tp, items[:len(items)-1])
+		loss := 0.0
+		for i, h := range states {
+			logits := tp.AddBias(tp.MatVec(m.out, h), m.bOut)
+			loss += SoftmaxCrossEntropy(logits, int(items[i+1]), 1)
+		}
+		return loss
+	}
+	lossOnly := func() float64 {
+		l := forwardLoss()
+		zeroAll(params)
+		return l
+	}
+	lossAndBackward := func() float64 {
+		tp := &Tape{}
+		states := m.forward(tp, items[:len(items)-1])
+		loss := 0.0
+		for i, h := range states {
+			logits := tp.AddBias(tp.MatVec(m.out, h), m.bOut)
+			loss += SoftmaxCrossEntropy(logits, int(items[i+1]), 1)
+		}
+		tp.Backward()
+		return loss
+	}
+	checkGradients(t, params, lossAndBackward, lossOnly)
+}
+
+func TestNARMGradients(t *testing.T) {
+	m := NewNARM(Config{NumItems: 6, EmbedDim: 3, HiddenDim: 3, Seed: 10})
+	items := []sessions.ItemID{1, 3, 5, 0}
+	params := m.opt.Params
+	run := func(backward bool) float64 {
+		tp := &Tape{}
+		states := m.forward(tp, items[:len(items)-1])
+		loss := 0.0
+		for i := range states {
+			logits := m.logitsAt(tp, states, i)
+			loss += SoftmaxCrossEntropy(logits, int(items[i+1]), 1)
+		}
+		if backward {
+			tp.Backward()
+		}
+		return loss
+	}
+	lossOnly := func() float64 {
+		l := run(false)
+		zeroAll(params)
+		return l
+	}
+	checkGradients(t, params, func() float64 { return run(true) }, lossOnly)
+}
+
+func TestSTAMPGradients(t *testing.T) {
+	m := NewSTAMP(Config{NumItems: 6, EmbedDim: 3, Seed: 11})
+	items := []sessions.ItemID{2, 0, 4, 3}
+	params := m.opt.Params
+	run := func(backward bool) float64 {
+		tp := &Tape{}
+		embs := make([]*Vec, len(items)-1)
+		for i := 0; i < len(items)-1; i++ {
+			embs[i] = tp.Lookup(m.emb, int(items[i]))
+		}
+		loss := 0.0
+		for i := range embs {
+			logits := m.logits(tp, embs, i)
+			loss += SoftmaxCrossEntropy(logits, int(items[i+1]), 1)
+		}
+		if backward {
+			tp.Backward()
+		}
+		return loss
+	}
+	lossOnly := func() float64 {
+		l := run(false)
+		zeroAll(params)
+		return l
+	}
+	checkGradients(t, params, func() float64 { return run(true) }, lossOnly)
+}
+
+// patternDataset builds sessions following deterministic cyclic patterns so
+// a sequence model can achieve near-perfect next-item accuracy.
+func patternDataset(n int) *sessions.Dataset {
+	patterns := [][]sessions.ItemID{
+		{0, 1, 2, 3},
+		{4, 5, 6, 7},
+		{8, 9, 10, 11},
+	}
+	var ss []sessions.Session
+	for i := 0; i < n; i++ {
+		p := patterns[i%len(patterns)]
+		times := make([]int64, len(p))
+		for j := range times {
+			times[j] = int64(1000*i + j)
+		}
+		ss = append(ss, sessions.Session{ID: sessions.SessionID(i), Items: p, Times: times})
+	}
+	return sessions.FromSessions("pattern", ss)
+}
+
+func testLearnsPattern(t *testing.T, m Model, epochs int) {
+	t.Helper()
+	ds := patternDataset(30)
+	losses := Fit(m, ds, epochs, 42)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("%s: loss did not decrease: first %.3f last %.3f", m.Name(), losses[0], losses[len(losses)-1])
+	}
+	cases := []struct {
+		prefix []sessions.ItemID
+		want   sessions.ItemID
+	}{
+		{[]sessions.ItemID{0, 1}, 2},
+		{[]sessions.ItemID{4, 5, 6}, 7},
+		{[]sessions.ItemID{8}, 9},
+	}
+	for _, tc := range cases {
+		recs := Recommend(m, tc.prefix, 3)
+		if len(recs) == 0 {
+			t.Fatalf("%s: no recommendations for %v", m.Name(), tc.prefix)
+		}
+		found := false
+		for _, r := range recs {
+			if r.Item == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: prefix %v: want %d in top-3, got %v", m.Name(), tc.prefix, tc.want, recs)
+		}
+	}
+}
+
+func TestGRU4RecLearnsPattern(t *testing.T) {
+	testLearnsPattern(t, NewGRU4Rec(Config{NumItems: 12, EmbedDim: 16, HiddenDim: 16, Seed: 1}), 15)
+}
+
+func TestNARMLearnsPattern(t *testing.T) {
+	testLearnsPattern(t, NewNARM(Config{NumItems: 12, EmbedDim: 16, HiddenDim: 16, Seed: 2}), 15)
+}
+
+func TestSTAMPLearnsPattern(t *testing.T) {
+	testLearnsPattern(t, NewSTAMP(Config{NumItems: 12, EmbedDim: 16, Seed: 3}), 15)
+}
+
+func TestRecommendEdgeCases(t *testing.T) {
+	m := NewGRU4Rec(Config{NumItems: 5, Seed: 4})
+	if Recommend(m, nil, 5) != nil {
+		t.Error("Recommend on empty session must be nil")
+	}
+	if Recommend(m, []sessions.ItemID{1}, 0) != nil {
+		t.Error("Recommend with n=0 must be nil")
+	}
+	recs := Recommend(m, []sessions.ItemID{1}, 3)
+	if len(recs) != 3 {
+		t.Errorf("Recommend returned %d, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Error("recommendations not sorted")
+		}
+	}
+}
+
+func TestTrainSessionTooShort(t *testing.T) {
+	m := NewSTAMP(Config{NumItems: 5, Seed: 5})
+	if loss := m.TrainSession([]sessions.ItemID{1}); loss != 0 {
+		t.Errorf("training on a 1-click session returned loss %v, want 0", loss)
+	}
+}
+
+func TestTruncateSession(t *testing.T) {
+	in := []sessions.ItemID{1, 2, 3, 4, 5}
+	got := truncateSession(in, 3)
+	if len(got) != 3 || got[0] != 3 {
+		t.Errorf("truncate = %v, want [3 4 5]", got)
+	}
+	if len(truncateSession(in, 10)) != 5 {
+		t.Error("truncate must keep short sessions intact")
+	}
+}
+
+func TestFitSkipsShortSessions(t *testing.T) {
+	ds := sessions.FromSessions("short", []sessions.Session{
+		{ID: 0, Items: []sessions.ItemID{1}, Times: []int64{1}},
+	})
+	m := NewGRU4Rec(Config{NumItems: 5, Seed: 6})
+	losses := Fit(m, ds, 2, 1)
+	if losses[0] != 0 || losses[1] != 0 {
+		t.Errorf("losses = %v, want zeros for all-short dataset", losses)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientSums(t *testing.T) {
+	logits := NewVec(4)
+	copy(logits.X, []float64{0.5, -1, 2, 0})
+	loss := SoftmaxCrossEntropy(logits, 2, 1)
+	if loss < 0 {
+		t.Errorf("loss = %v, want >= 0", loss)
+	}
+	sum := 0.0
+	for _, g := range logits.G {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("gradient sums to %v, want 0 (softmax minus onehot)", sum)
+	}
+}
+
+func TestAdagradStepReducesLoss(t *testing.T) {
+	m := NewGRU4Rec(Config{NumItems: 6, EmbedDim: 8, HiddenDim: 8, Seed: 7, LR: 0.1})
+	items := []sessions.ItemID{0, 1, 2, 3}
+	first := m.TrainSession(items)
+	var last float64
+	for i := 0; i < 30; i++ {
+		last = m.TrainSession(items)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease on repeated training: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,79 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable weight matrix (or vector when Cols == 1 or Rows == 1)
+// with its gradient accumulator and Adagrad state.
+type Param struct {
+	Name       string
+	Rows, Cols int
+	W          []float64
+	G          []float64
+	ssq        []float64 // Adagrad accumulated squared gradients
+}
+
+// NewParam allocates a parameter initialised with Glorot-style uniform
+// noise.
+func NewParam(name string, rows, cols int, rng *rand.Rand) *Param {
+	n := rows * cols
+	p := &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W:   make([]float64, n),
+		G:   make([]float64, n),
+		ssq: make([]float64, n),
+	}
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+// NewZeroParam allocates a zero-initialised parameter (biases).
+func NewZeroParam(name string, rows, cols int) *Param {
+	n := rows * cols
+	return &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W:   make([]float64, n),
+		G:   make([]float64, n),
+		ssq: make([]float64, n),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// adagradStep applies one Adagrad update with the given learning rate and
+// clears the gradient.
+func (p *Param) adagradStep(lr float64) {
+	const eps = 1e-8
+	for i, g := range p.G {
+		if g == 0 {
+			continue
+		}
+		p.ssq[i] += g * g
+		p.W[i] -= lr * g / (math.Sqrt(p.ssq[i]) + eps)
+		p.G[i] = 0
+	}
+}
+
+// Optimizer applies Adagrad steps over a parameter set.
+type Optimizer struct {
+	LR     float64
+	Params []*Param
+}
+
+// Step updates all parameters from their accumulated gradients and clears
+// them.
+func (o *Optimizer) Step() {
+	for _, p := range o.Params {
+		p.adagradStep(o.LR)
+	}
+}

@@ -1,0 +1,118 @@
+package neural
+
+import (
+	"math/rand"
+
+	"serenade/internal/sessions"
+)
+
+// STAMP is the short-term attention/memory priority model of Liu et al.
+// (KDD 2018): an attention over the session's item embeddings conditioned
+// on the last click and the session's mean embedding produces a general
+// interest vector; combined multiplicatively with the last click's
+// projection it scores candidate items by embedding dot product — no
+// recurrence, which makes it the cheapest of the three baselines.
+type STAMP struct {
+	cfg Config
+	emb *Param // items × embed (shared encoder/decoder embedding)
+	w1  *Param // embed × embed (attention: per-item)
+	w2  *Param // embed × embed (attention: last click)
+	w3  *Param // embed × embed (attention: session mean)
+	w0  *Param // 1 × embed    (attention energy)
+	ws  *Param // embed × embed (general-interest MLP)
+	bs  *Param
+	wt  *Param // embed × embed (last-click MLP)
+	bt  *Param
+	opt *Optimizer
+}
+
+// NewSTAMP allocates the model.
+func NewSTAMP(cfg Config) *STAMP {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &STAMP{
+		cfg: cfg,
+		emb: NewParam("stamp.emb", cfg.NumItems, cfg.EmbedDim, rng),
+		w1:  NewParam("stamp.W1", cfg.EmbedDim, cfg.EmbedDim, rng),
+		w2:  NewParam("stamp.W2", cfg.EmbedDim, cfg.EmbedDim, rng),
+		w3:  NewParam("stamp.W3", cfg.EmbedDim, cfg.EmbedDim, rng),
+		w0:  NewParam("stamp.w0", 1, cfg.EmbedDim, rng),
+		ws:  NewParam("stamp.Ws", cfg.EmbedDim, cfg.EmbedDim, rng),
+		bs:  NewZeroParam("stamp.bs", cfg.EmbedDim, 1),
+		wt:  NewParam("stamp.Wt", cfg.EmbedDim, cfg.EmbedDim, rng),
+		bt:  NewZeroParam("stamp.bt", cfg.EmbedDim, 1),
+	}
+	m.opt = &Optimizer{LR: cfg.LR, Params: []*Param{
+		m.emb, m.w1, m.w2, m.w3, m.w0, m.ws, m.bs, m.wt, m.bt,
+	}}
+	return m
+}
+
+// Name implements Model.
+func (m *STAMP) Name() string { return "STAMP" }
+
+// logits scores all items for the prefix embs[0..last].
+func (m *STAMP) logits(t *Tape, embs []*Vec, last int) *Vec {
+	xt := embs[last]
+	// Session memory: mean embedding of the prefix.
+	sum := embs[0]
+	for j := 1; j <= last; j++ {
+		sum = t.Add(sum, embs[j])
+	}
+	ms := t.Scale(sum, 1/float64(last+1))
+
+	// Attention with last-click priority.
+	qLast := t.MatVec(m.w2, xt)
+	qMean := t.MatVec(m.w3, ms)
+	base := t.Add(qLast, qMean)
+	energies := NewVec(last + 1)
+	parts := make([]*Vec, last+1)
+	for j := 0; j <= last; j++ {
+		e := t.Dot(t.Lookup(m.w0, 0), t.Sigmoid(t.Add(t.MatVec(m.w1, embs[j]), base)))
+		parts[j] = e
+		energies.X[j] = e.X[0]
+	}
+	t.record(func() {
+		for j, p := range parts {
+			p.G[0] += energies.G[j]
+		}
+	})
+	alpha := t.Softmax(energies)
+	ma := t.WeightedSum(embs[:last+1], alpha)
+
+	hs := t.Tanh(t.AddBias(t.MatVec(m.ws, ma), m.bs))
+	ht := t.Tanh(t.AddBias(t.MatVec(m.wt, xt), m.bt))
+	return t.MatVec(m.emb, t.Mul(hs, ht))
+}
+
+// TrainSession implements Model.
+func (m *STAMP) TrainSession(items []sessions.ItemID) float64 {
+	items = truncateSession(items, m.cfg.MaxLen)
+	if len(items) < 2 {
+		return 0
+	}
+	t := &Tape{}
+	embs := make([]*Vec, len(items)-1)
+	for i := 0; i < len(items)-1; i++ {
+		embs[i] = t.Lookup(m.emb, int(items[i]))
+	}
+	loss := 0.0
+	for i := range embs {
+		logits := m.logits(t, embs, i)
+		loss += SoftmaxCrossEntropy(logits, int(items[i+1]), 1)
+	}
+	t.Backward()
+	m.opt.Step()
+	return loss
+}
+
+// Scores implements Model.
+func (m *STAMP) Scores(evolving []sessions.ItemID) []float64 {
+	evolving = truncateSession(evolving, m.cfg.MaxLen)
+	t := &Tape{}
+	embs := make([]*Vec, len(evolving))
+	for i, it := range evolving {
+		embs[i] = t.Lookup(m.emb, int(it))
+	}
+	return m.logits(t, embs, len(embs)-1).X
+}

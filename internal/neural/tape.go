@@ -1,0 +1,312 @@
+// Package neural is a small from-scratch neural network library and the
+// three neural session-recommendation baselines the paper compares against
+// in §5.1.1: GRU4Rec (Hidasi et al.), NARM (Li et al.) and STAMP (Liu et
+// al.).
+//
+// The library is a tape-based reverse-mode automatic differentiation engine
+// over dense vectors: every forward operation appends a backward closure to
+// a tape, and running the tape in reverse accumulates gradients. Models are
+// architecturally faithful, scaled-down versions of the published baselines
+// (GRU recurrence; NARM's attention over hidden states; STAMP's attention
+// with last-item priority), trained with Adagrad on the synthetic datasets —
+// see the substitution notes in DESIGN.md.
+package neural
+
+import "math"
+
+// Tape records backward closures in forward execution order; executing them
+// in reverse order is a valid reverse topological traversal of the compute
+// graph.
+type Tape struct {
+	backward []func()
+}
+
+// Reset discards the recorded graph, keeping storage for reuse.
+func (t *Tape) Reset() { t.backward = t.backward[:0] }
+
+// Backward runs the recorded closures in reverse. The caller seeds the
+// output gradient first (SoftmaxCrossEntropy does this itself).
+func (t *Tape) Backward() {
+	for i := len(t.backward) - 1; i >= 0; i-- {
+		t.backward[i]()
+	}
+}
+
+func (t *Tape) record(f func()) { t.backward = append(t.backward, f) }
+
+// Vec is a node in the compute graph: a value vector X with its gradient G.
+type Vec struct {
+	X []float64
+	G []float64
+}
+
+// NewVec allocates a zero vector node of length n.
+func NewVec(n int) *Vec {
+	return &Vec{X: make([]float64, n), G: make([]float64, n)}
+}
+
+// Len returns the vector length.
+func (v *Vec) Len() int { return len(v.X) }
+
+// Constant wraps data in a leaf node (its gradient is accumulated but
+// unused).
+func Constant(data []float64) *Vec {
+	return &Vec{X: data, G: make([]float64, len(data))}
+}
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = a.X[i] + b.X[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func (t *Tape) Mul(a, b *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = a.X[i] * b.X[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * b.X[i]
+			b.G[i] += out.G[i] * a.X[i]
+		}
+	})
+	return out
+}
+
+// Scale returns s·a for a constant scalar s.
+func (t *Tape) Scale(a *Vec, s float64) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = s * a.X[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += s * out.G[i]
+		}
+	})
+	return out
+}
+
+// OneMinus returns 1 − a, the gate complement used by the GRU update.
+func (t *Tape) OneMinus(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = 1 - a.X[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] -= out.G[i]
+		}
+	})
+	return out
+}
+
+// Sigmoid returns σ(a) elementwise.
+func (t *Tape) Sigmoid(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = 1 / (1 + math.Exp(-a.X[i]))
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * out.X[i] * (1 - out.X[i])
+		}
+	})
+	return out
+}
+
+// Tanh returns tanh(a) elementwise.
+func (t *Tape) Tanh(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = math.Tanh(a.X[i])
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i] * (1 - out.X[i]*out.X[i])
+		}
+	})
+	return out
+}
+
+// MatVec returns W·x for a parameter matrix W (rows×cols) and x of length
+// cols.
+func (t *Tape) MatVec(w *Param, x *Vec) *Vec {
+	out := NewVec(w.Rows)
+	for r := 0; r < w.Rows; r++ {
+		row := w.W[r*w.Cols : (r+1)*w.Cols]
+		s := 0.0
+		for c, xv := range x.X {
+			s += row[c] * xv
+		}
+		out.X[r] = s
+	}
+	t.record(func() {
+		for r := 0; r < w.Rows; r++ {
+			g := out.G[r]
+			if g == 0 {
+				continue
+			}
+			row := w.W[r*w.Cols : (r+1)*w.Cols]
+			grow := w.G[r*w.Cols : (r+1)*w.Cols]
+			for c := range x.X {
+				grow[c] += g * x.X[c]
+				x.G[c] += g * row[c]
+			}
+		}
+	})
+	return out
+}
+
+// AddBias returns a + b for a bias parameter vector b.
+func (t *Tape) AddBias(a *Vec, b *Param) *Vec {
+	out := NewVec(a.Len())
+	for i := range out.X {
+		out.X[i] = a.X[i] + b.W[i]
+	}
+	t.record(func() {
+		for i := range out.G {
+			a.G[i] += out.G[i]
+			b.G[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Lookup returns row idx of the embedding parameter as a graph node.
+func (t *Tape) Lookup(emb *Param, idx int) *Vec {
+	out := NewVec(emb.Cols)
+	copy(out.X, emb.W[idx*emb.Cols:(idx+1)*emb.Cols])
+	t.record(func() {
+		grow := emb.G[idx*emb.Cols : (idx+1)*emb.Cols]
+		for i := range out.G {
+			grow[i] += out.G[i]
+		}
+	})
+	return out
+}
+
+// Dot returns the scalar a·b as a length-1 node.
+func (t *Tape) Dot(a, b *Vec) *Vec {
+	out := NewVec(1)
+	s := 0.0
+	for i := range a.X {
+		s += a.X[i] * b.X[i]
+	}
+	out.X[0] = s
+	t.record(func() {
+		g := out.G[0]
+		for i := range a.X {
+			a.G[i] += g * b.X[i]
+			b.G[i] += g * a.X[i]
+		}
+	})
+	return out
+}
+
+// WeightedSum returns Σ_j weights[j]·vecs[j], the attention context vector.
+// weights is a node of length len(vecs).
+func (t *Tape) WeightedSum(vecs []*Vec, weights *Vec) *Vec {
+	out := NewVec(vecs[0].Len())
+	for j, v := range vecs {
+		w := weights.X[j]
+		for i := range out.X {
+			out.X[i] += w * v.X[i]
+		}
+	}
+	t.record(func() {
+		for j, v := range vecs {
+			w := weights.X[j]
+			dw := 0.0
+			for i := range out.G {
+				v.G[i] += w * out.G[i]
+				dw += v.X[i] * out.G[i]
+			}
+			weights.G[j] += dw
+		}
+	})
+	return out
+}
+
+// Softmax returns softmax(a) as a node (used for attention weights).
+func (t *Tape) Softmax(a *Vec) *Vec {
+	out := NewVec(a.Len())
+	max := a.X[0]
+	for _, v := range a.X[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range a.X {
+		e := math.Exp(v - max)
+		out.X[i] = e
+		sum += e
+	}
+	for i := range out.X {
+		out.X[i] /= sum
+	}
+	t.record(func() {
+		// dL/da_i = y_i (g_i − Σ_j g_j y_j)
+		dot := 0.0
+		for j := range out.X {
+			dot += out.G[j] * out.X[j]
+		}
+		for i := range a.X {
+			a.G[i] += out.X[i] * (out.G[i] - dot)
+		}
+	})
+	return out
+}
+
+// Concat2 returns the concatenation [a; b].
+func (t *Tape) Concat2(a, b *Vec) *Vec {
+	out := NewVec(a.Len() + b.Len())
+	copy(out.X, a.X)
+	copy(out.X[a.Len():], b.X)
+	t.record(func() {
+		for i := range a.G {
+			a.G[i] += out.G[i]
+		}
+		off := a.Len()
+		for i := range b.G {
+			b.G[i] += out.G[off+i]
+		}
+	})
+	return out
+}
+
+// SoftmaxCrossEntropy computes softmax cross-entropy of logits against a
+// target class, seeds the logits' gradient (softmax − onehot, scaled by
+// weight), and returns the loss. It terminates a training step.
+func SoftmaxCrossEntropy(logits *Vec, target int, weight float64) float64 {
+	max := logits.X[0]
+	for _, v := range logits.X[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits.X {
+		sum += math.Exp(v - max)
+	}
+	logZ := math.Log(sum) + max
+	loss := (logZ - logits.X[target]) * weight
+	for i, v := range logits.X {
+		p := math.Exp(v-logZ) * weight
+		logits.G[i] += p
+	}
+	logits.G[target] -= weight
+	return loss
+}

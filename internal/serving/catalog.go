@@ -1,0 +1,60 @@
+package serving
+
+import (
+	"sync"
+
+	"serenade/internal/sessions"
+)
+
+// Catalog holds the item flags consulted by the business rules of §4.2:
+// unavailable products must never be recommended, and adult products are
+// filtered from the product-detail-page slot. The catalog is mutable at
+// runtime (availability changes continuously on a live platform) and safe
+// for concurrent use.
+type Catalog struct {
+	mu          sync.RWMutex
+	unavailable map[sessions.ItemID]struct{}
+	adult       map[sessions.ItemID]struct{}
+}
+
+// NewCatalog returns an empty catalog in which every item is recommendable.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		unavailable: make(map[sessions.ItemID]struct{}),
+		adult:       make(map[sessions.ItemID]struct{}),
+	}
+}
+
+// SetAvailable marks an item as in or out of stock.
+func (c *Catalog) SetAvailable(item sessions.ItemID, available bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if available {
+		delete(c.unavailable, item)
+	} else {
+		c.unavailable[item] = struct{}{}
+	}
+}
+
+// SetAdult flags an item as adult-only.
+func (c *Catalog) SetAdult(item sessions.ItemID, adult bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if adult {
+		c.adult[item] = struct{}{}
+	} else {
+		delete(c.adult, item)
+	}
+}
+
+// Recommendable reports whether the item may appear in the recommendation
+// slot.
+func (c *Catalog) Recommendable(item sessions.ItemID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, ok := c.unavailable[item]; ok {
+		return false
+	}
+	_, ok := c.adult[item]
+	return !ok
+}

@@ -1,0 +1,204 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"serenade/internal/index"
+	"serenade/internal/sessions"
+)
+
+// Handler exposes the server as the REST application of §4.2:
+//
+//	POST /v1/recommend            body: {"session_id","item_id","consent"}
+//	GET  /v1/recommend?session_id=&item_id=&consent=   (frontend beacon form)
+//	GET  /v1/session/{id}         debug view of stored session state
+//	GET  /healthz                 liveness probe for the orchestrator
+//	GET  /metrics                 JSON counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recommend", s.handleRecommendPost)
+	mux.HandleFunc("GET /v1/recommend", s.handleRecommendGet)
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSession)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics.prom", s.handlePromMetrics)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/trending", s.handleTrending)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	return mux
+}
+
+// handleTrending serves the companion "new and trending" slot.
+//
+//	GET /v1/trending?n=10            most popular right now
+//	GET /v1/trending?n=10&new=24h    trending among recently first-seen items
+func (s *Server) handleTrending(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Trending == nil {
+		writeError(w, http.StatusNotFound, "trending is not enabled on this server")
+		return
+	}
+	q := r.URL.Query()
+	n := 21
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "invalid n")
+			return
+		}
+		n = v
+	}
+	var items any
+	if raw := q.Get("new"); raw != "" {
+		maxAge, err := time.ParseDuration(raw)
+		if err != nil || maxAge <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid new= duration")
+			return
+		}
+		items = s.cfg.Trending.TopNew(n, maxAge)
+	} else {
+		items = s.cfg.Trending.Top(n)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": items})
+}
+
+// handleExplain answers "why would item X be recommended to this session?"
+// for debugging and merchandising reviews.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key := q.Get("session_id")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "session_id is required")
+		return
+	}
+	item, err := strconv.ParseUint(q.Get("item_id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid item_id")
+		return
+	}
+	ex, ok := s.Explain(key, sessions.ItemID(item))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no score attribution for this session/item")
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+// handleReload loads a new index file and swaps it in atomically — the
+// endpoint the daily offline job calls after shipping a fresh build.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Path string `json:"path"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || req.Path == "" {
+		writeError(w, http.StatusBadRequest, "body must be {\"path\": \"<index file>\"}")
+		return
+	}
+	idx, err := index.LoadFile(req.Path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "loading index: "+err.Error())
+		return
+	}
+	if err := s.SwapIndex(idx); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions": idx.NumSessions(),
+		"items":    idx.NumItems(),
+	})
+}
+
+func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	s.serveRecommend(w, req)
+}
+
+func (s *Server) handleRecommendGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	itemStr := q.Get("item_id")
+	item, err := strconv.ParseUint(itemStr, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid item_id "+strconv.Quote(itemStr))
+		return
+	}
+	sessionKey := q.Get("session_id")
+	consent := q.Get("consent") != "false"
+	s.serveRecommend(w, Request{
+		SessionKey: sessionKey,
+		Item:       sessions.ItemID(item),
+		Consent:    consent,
+	})
+}
+
+func (s *Server) serveRecommend(w http.ResponseWriter, req Request) {
+	if req.SessionKey == "" {
+		writeError(w, http.StatusBadRequest, "session_id is required")
+		return
+	}
+	resp, err := s.Recommend(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("id")
+	state, ok := s.SessionState(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session state for "+strconv.Quote(key))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session_id": key, "items": state})
+}
+
+// handlePromMetrics exposes the counters in the Prometheus text exposition
+// format, the scrape target a production deployment's monitoring expects.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP serenade_requests_total Recommendation requests served.\n")
+	fmt.Fprintf(w, "# TYPE serenade_requests_total counter\n")
+	fmt.Fprintf(w, "serenade_requests_total %d\n", st.Requests)
+	fmt.Fprintf(w, "# HELP serenade_request_latency_seconds Request latency percentiles.\n")
+	fmt.Fprintf(w, "# TYPE serenade_request_latency_seconds summary\n")
+	fmt.Fprintf(w, "serenade_request_latency_seconds{quantile=\"0.9\"} %g\n", st.P90Latency.Seconds())
+	fmt.Fprintf(w, "serenade_request_latency_seconds{quantile=\"0.995\"} %g\n", st.P995Latency.Seconds())
+	fmt.Fprintf(w, "# HELP serenade_active_sessions Evolving sessions currently stored.\n")
+	fmt.Fprintf(w, "# TYPE serenade_active_sessions gauge\n")
+	fmt.Fprintf(w, "serenade_active_sessions %d\n", st.ActiveSessions)
+	fmt.Fprintf(w, "# HELP serenade_index_sessions Historical sessions in the active index.\n")
+	fmt.Fprintf(w, "# TYPE serenade_index_sessions gauge\n")
+	fmt.Fprintf(w, "serenade_index_sessions %d\n", st.IndexSessions)
+	fmt.Fprintf(w, "# HELP serenade_index_swaps_total Index rollovers since start.\n")
+	fmt.Fprintf(w, "# TYPE serenade_index_swaps_total counter\n")
+	fmt.Fprintf(w, "serenade_index_swaps_total %d\n", st.IndexSwaps)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

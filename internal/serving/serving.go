@@ -1,0 +1,399 @@
+// Package serving implements Serenade's online component (§4): a stateful
+// recommendation server that colocates the evolving user sessions with the
+// update and recommendation requests.
+//
+// Each request carries a session identifier, the item the user just
+// interacted with, and a consent flag. The server appends the item to the
+// session state held in a machine-local TTL key-value store (internal/
+// kvstore, the RocksDB stand-in), runs VMIS-kNN against the replicated
+// session similarity index, applies the business rules (drop unavailable and
+// adult items, and the item currently displayed), and responds with the
+// ranked next-item recommendations — 21 of them in production, the number
+// the shop frontend's UI slot requires.
+package serving
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/kvstore"
+	"serenade/internal/metrics"
+	"serenade/internal/sessions"
+	"serenade/internal/trending"
+)
+
+// DefaultRecommendations is the number of items the bol.com frontend slot
+// renders per request.
+const DefaultRecommendations = 21
+
+// DefaultSessionTTL matches the production configuration: session state is
+// dropped after 30 minutes of inactivity.
+const DefaultSessionTTL = 30 * time.Minute
+
+// maxStoredSessionLength bounds the session state kept per user; only the
+// most recent items influence predictions, so older clicks are dropped.
+const maxStoredSessionLength = 50
+
+// Config parameterises a Server.
+type Config struct {
+	// Params are the VMIS-kNN hyperparameters (production: m=500, k=500).
+	Params core.Params
+	// Recommendations is the response list length; 0 means
+	// DefaultRecommendations.
+	Recommendations int
+	// HistoryLength caps how many of the session's most recent items feed
+	// the prediction: the A/B test variants of §5.2.3 are HistoryLength=2
+	// (serenade-hist) and HistoryLength=1 (serenade-recent). 0 uses the
+	// full stored session (up to the algorithm's own cap).
+	HistoryLength int
+	// SessionTTL is the session-state inactivity expiry; 0 means
+	// DefaultSessionTTL.
+	SessionTTL time.Duration
+	// StoreDir enables durable session storage when non-empty.
+	StoreDir string
+	// Catalog supplies the business-rule item flags; nil disables
+	// catalog-based filtering.
+	Catalog *Catalog
+	// FallbackToPopular pads short recommendation lists with the most
+	// popular recommendable items, so the UI slot is always full even for
+	// cold sessions on rare items.
+	FallbackToPopular bool
+	// Trending, when non-nil, receives every click so the companion
+	// "new and trending" slot (§4.1) can serve items the daily index has
+	// not seen yet; it is exposed at GET /v1/trending.
+	Trending *trending.Tracker
+	// Now injects a clock for tests.
+	Now func() time.Time
+}
+
+// Server is one stateful recommendation server ("Serenade pod"). It is safe
+// for concurrent use; VMIS-kNN query state is pooled per goroutine.
+//
+// The index is replaced atomically once per day when the offline job ships a
+// fresh build (SwapIndex); in-flight requests finish against the index they
+// started with.
+type Server struct {
+	cfg   Config
+	store *kvstore.Store
+	// active holds the current index generation: the index plus a pool of
+	// recommenders bound to it. Swapped wholesale on index rollover.
+	active atomic.Pointer[indexGeneration]
+
+	requests *metrics.Histogram
+	swaps    atomic.Uint64
+}
+
+// indexGeneration ties a recommender pool to the index it queries, so a
+// request never mixes state across an index swap.
+type indexGeneration struct {
+	idx *core.Index
+	// popular ranks items by document frequency, the fallback order.
+	popular []core.ScoredItem
+	pool    sync.Pool
+}
+
+func newGeneration(idx *core.Index, params core.Params, fallback bool) (*indexGeneration, error) {
+	proto, err := core.NewRecommender(idx, params)
+	if err != nil {
+		return nil, err
+	}
+	g := &indexGeneration{idx: idx}
+	g.pool.New = func() any { return proto.Clone() }
+	if fallback {
+		g.popular = popularItems(idx)
+	}
+	return g, nil
+}
+
+// popularItems ranks the catalog by document frequency (most sessions
+// first), ties toward smaller item ids.
+func popularItems(idx *core.Index) []core.ScoredItem {
+	out := make([]core.ScoredItem, 0, idx.NumItems())
+	for i := 0; i < idx.NumItems(); i++ {
+		item := sessions.ItemID(i)
+		if df := idx.DF(item); df > 0 {
+			out = append(out, core.ScoredItem{Item: item, Score: float64(df)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Item < out[b].Item
+	})
+	const maxFallback = 512
+	if len(out) > maxFallback {
+		out = out[:maxFallback:maxFallback]
+	}
+	return out
+}
+
+// NewServer creates a serving instance against a (replicated, immutable)
+// session similarity index.
+func NewServer(idx *core.Index, cfg Config) (*Server, error) {
+	if cfg.Recommendations <= 0 {
+		cfg.Recommendations = DefaultRecommendations
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = DefaultSessionTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	gen, err := newGeneration(idx, cfg.Params, cfg.FallbackToPopular)
+	if err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	store, err := kvstore.Open(kvstore.Options{
+		Dir: cfg.StoreDir,
+		TTL: cfg.SessionTTL,
+		Now: cfg.Now,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serving: opening session store: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		requests: &metrics.Histogram{},
+	}
+	s.active.Store(gen)
+	return s, nil
+}
+
+// SwapIndex atomically replaces the session similarity index — the daily
+// rollover after the offline job produces a fresh build. Evolving session
+// state is unaffected; requests already executing complete against the old
+// index.
+func (s *Server) SwapIndex(idx *core.Index) error {
+	gen, err := newGeneration(idx, s.cfg.Params, s.cfg.FallbackToPopular)
+	if err != nil {
+		return fmt.Errorf("serving: swapping index: %w", err)
+	}
+	s.active.Store(gen)
+	s.swaps.Add(1)
+	return nil
+}
+
+// Index returns the currently active index.
+func (s *Server) Index() *core.Index { return s.active.Load().idx }
+
+// Close releases the session store.
+func (s *Server) Close() error { return s.store.Close() }
+
+// Request is one session update + recommendation request from the frontend.
+type Request struct {
+	// SessionKey identifies the user session (an opaque cookie value).
+	SessionKey string `json:"session_id"`
+	// Item is the item the user just interacted with (the product detail
+	// page being viewed).
+	Item sessions.ItemID `json:"item_id"`
+	// Consent reports whether the user allows their session history to be
+	// used. Without consent the prediction is depersonalised: it uses only
+	// the currently displayed item, and any stored history is discarded.
+	Consent bool `json:"consent"`
+}
+
+// Response is the recommendation payload returned to the frontend.
+type Response struct {
+	Items []core.ScoredItem `json:"items"`
+	// SessionLength is the stored session length after this update
+	// (1 for depersonalised requests).
+	SessionLength int `json:"session_length"`
+}
+
+// Recommend handles one request end to end: session state update, VMIS-kNN
+// prediction, business rules. It is the code path behind the HTTP handler
+// and is also called directly by the in-process load and A/B harnesses.
+func (s *Server) Recommend(req Request) (Response, error) {
+	started := s.cfg.Now()
+	if s.cfg.Trending != nil {
+		s.cfg.Trending.Observe(req.Item, 1)
+	}
+	var evolving []sessions.ItemID
+	if req.Consent {
+		evolving = s.updateSession(req.SessionKey, req.Item)
+	} else {
+		// Depersonalisation (§4.2): forget stored history immediately and
+		// predict from the displayed item alone.
+		if err := s.store.Delete(req.SessionKey); err != nil {
+			return Response{}, err
+		}
+		evolving = []sessions.ItemID{req.Item}
+	}
+
+	predictFrom := evolving
+	if s.cfg.HistoryLength > 0 && len(predictFrom) > s.cfg.HistoryLength {
+		predictFrom = predictFrom[len(predictFrom)-s.cfg.HistoryLength:]
+	}
+
+	gen := s.active.Load()
+	rec := gen.pool.Get().(*core.Recommender)
+	// Over-fetch so that business-rule filtering can still fill the slot.
+	raw := rec.Recommend(predictFrom, 2*s.cfg.Recommendations+1)
+	items := s.applyRules(req.Item, raw)
+	if len(items) > s.cfg.Recommendations {
+		items = items[:s.cfg.Recommendations]
+	}
+	// Copy out of the recommender's reusable buffers before pooling it.
+	out := make([]core.ScoredItem, len(items))
+	copy(out, items)
+	gen.pool.Put(rec)
+	if len(out) < s.cfg.Recommendations && len(gen.popular) > 0 {
+		out = s.padWithPopular(out, req.Item, gen.popular)
+	}
+
+	s.requests.Record(s.cfg.Now().Sub(started))
+	return Response{Items: out, SessionLength: len(evolving)}, nil
+}
+
+// updateSession appends the item to the stored session and returns the new
+// evolving session.
+func (s *Server) updateSession(key string, item sessions.ItemID) []sessions.ItemID {
+	var evolving []sessions.ItemID
+	if raw, ok := s.store.Get(key); ok {
+		evolving = decodeSession(raw)
+	}
+	evolving = append(evolving, item)
+	if len(evolving) > maxStoredSessionLength {
+		evolving = evolving[len(evolving)-maxStoredSessionLength:]
+	}
+	// A failed write only loses session context for the next request —
+	// the paper's design explicitly tolerates session-state loss — so the
+	// current prediction proceeds regardless.
+	_ = s.store.Put(key, encodeSession(evolving))
+	return evolving
+}
+
+// padWithPopular appends popularity-ranked fallback items (score zero, so
+// ranking positions remain honest) until the slot is full.
+func (s *Server) padWithPopular(out []core.ScoredItem, current sessions.ItemID, popular []core.ScoredItem) []core.ScoredItem {
+	have := make(map[sessions.ItemID]struct{}, len(out))
+	for _, it := range out {
+		have[it.Item] = struct{}{}
+	}
+	for _, p := range popular {
+		if len(out) >= s.cfg.Recommendations {
+			break
+		}
+		if p.Item == current {
+			continue
+		}
+		if _, dup := have[p.Item]; dup {
+			continue
+		}
+		if s.cfg.Catalog != nil && !s.cfg.Catalog.Recommendable(p.Item) {
+			continue
+		}
+		have[p.Item] = struct{}{}
+		out = append(out, core.ScoredItem{Item: p.Item, Score: 0})
+	}
+	return out
+}
+
+// Explain attributes a recommended item's score to the neighbour sessions
+// behind it, using the stored evolving session for key. The second result
+// is false when there is no session state or the item receives no score.
+func (s *Server) Explain(key string, item sessions.ItemID) (core.Explanation, bool) {
+	evolving, ok := s.SessionState(key)
+	if !ok {
+		return core.Explanation{Item: item}, false
+	}
+	if s.cfg.HistoryLength > 0 && len(evolving) > s.cfg.HistoryLength {
+		evolving = evolving[len(evolving)-s.cfg.HistoryLength:]
+	}
+	gen := s.active.Load()
+	rec := gen.pool.Get().(*core.Recommender)
+	ex, ok := rec.Explain(evolving, item)
+	gen.pool.Put(rec)
+	return ex, ok
+}
+
+// applyRules drops the currently displayed item and anything the catalog
+// flags as unavailable or adult-only.
+func (s *Server) applyRules(current sessions.ItemID, recs []core.ScoredItem) []core.ScoredItem {
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Item == current {
+			continue
+		}
+		if s.cfg.Catalog != nil && !s.cfg.Catalog.Recommendable(r.Item) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SessionState returns the stored evolving session for a key, for debugging
+// endpoints and tests.
+func (s *Server) SessionState(key string) ([]sessions.ItemID, bool) {
+	raw, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return decodeSession(raw), true
+}
+
+// SweepSessions evicts expired session state, mirroring the 30-minute
+// RocksDB TTL; serving machines call it periodically.
+func (s *Server) SweepSessions() int { return s.store.Sweep() }
+
+// LatencyHistogram exposes the server-side request latency distribution.
+func (s *Server) LatencyHistogram() *metrics.Histogram { return s.requests }
+
+// Stats summarises the server for the /metrics endpoint.
+type Stats struct {
+	Requests       uint64        `json:"requests"`
+	MeanLatency    time.Duration `json:"mean_latency_ns"`
+	P90Latency     time.Duration `json:"p90_latency_ns"`
+	P995Latency    time.Duration `json:"p995_latency_ns"`
+	ActiveSessions int           `json:"active_sessions"`
+	IndexSessions  int           `json:"index_sessions"`
+	IndexItems     int           `json:"index_items"`
+	IndexSwaps     uint64        `json:"index_swaps"`
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	idx := s.Index()
+	return Stats{
+		Requests:       s.requests.Count(),
+		MeanLatency:    s.requests.Mean(),
+		P90Latency:     s.requests.Percentile(90),
+		P995Latency:    s.requests.Percentile(99.5),
+		ActiveSessions: s.store.Len(),
+		IndexSessions:  idx.NumSessions(),
+		IndexItems:     idx.NumItems(),
+		IndexSwaps:     s.swaps.Load(),
+	}
+}
+
+// encodeSession serialises an evolving session as varint-encoded item ids.
+func encodeSession(items []sessions.ItemID) []byte {
+	buf := make([]byte, 0, len(items)*3)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, it := range items {
+		n := binary.PutUvarint(tmp[:], uint64(it))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+func decodeSession(raw []byte) []sessions.ItemID {
+	var out []sessions.ItemID
+	for len(raw) > 0 {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return out // torn state: keep the prefix
+		}
+		out = append(out, sessions.ItemID(v))
+		raw = raw[n:]
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package sessions
+
+// Preprocessing filters of the session-rec evaluation pipeline that the
+// paper's datasets pass through before training: dropping clicks on items
+// with too little support, dropping sessions that became too short, and
+// repeating both until a fixed point, since each filter can re-trigger the
+// other.
+
+// FilterConfig parameterises preprocessing.
+type FilterConfig struct {
+	// MinSessionLength drops sessions with fewer clicks (default 2 — a
+	// next-item prediction needs context and target).
+	MinSessionLength int
+	// MinItemSupport drops clicks on items occurring in fewer sessions
+	// (default 5, the session-rec convention).
+	MinItemSupport int
+	// MaxIterations bounds the fixed-point iteration (default 16; real
+	// datasets converge in a handful of rounds).
+	MaxIterations int
+}
+
+func (c FilterConfig) withDefaults() FilterConfig {
+	if c.MinSessionLength <= 0 {
+		c.MinSessionLength = 2
+	}
+	if c.MinItemSupport <= 0 {
+		c.MinItemSupport = 5
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 16
+	}
+	return c
+}
+
+// Filter applies the preprocessing pipeline and returns the filtered
+// dataset together with the number of iterations it took to converge.
+func Filter(ds *Dataset, cfg FilterConfig) (*Dataset, int) {
+	cfg = cfg.withDefaults()
+	current := ds.Sessions
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// Session-level support: count sessions per item (distinct).
+		support := make(map[ItemID]int)
+		for i := range current {
+			seen := make(map[ItemID]struct{}, len(current[i].Items))
+			for _, it := range current[i].Items {
+				if _, dup := seen[it]; dup {
+					continue
+				}
+				seen[it] = struct{}{}
+				support[it]++
+			}
+		}
+
+		changed := false
+		next := make([]Session, 0, len(current))
+		for i := range current {
+			s := current[i]
+			keepItems := make([]ItemID, 0, len(s.Items))
+			keepTimes := make([]int64, 0, len(s.Times))
+			for j, it := range s.Items {
+				if support[it] < cfg.MinItemSupport {
+					changed = true
+					continue
+				}
+				keepItems = append(keepItems, it)
+				keepTimes = append(keepTimes, s.Times[j])
+			}
+			if len(keepItems) < cfg.MinSessionLength {
+				changed = true
+				continue
+			}
+			next = append(next, Session{ID: s.ID, Items: keepItems, Times: keepTimes})
+		}
+		current = next
+		if !changed {
+			return FromSessions(ds.Name, current), iter
+		}
+	}
+	return FromSessions(ds.Name, current), cfg.MaxIterations
+}

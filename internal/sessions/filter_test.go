@@ -1,0 +1,116 @@
+package sessions
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterDropsRareItems(t *testing.T) {
+	// Item 9 occurs in a single session; with MinItemSupport 2 its clicks
+	// are removed.
+	ds := Group("f", []Click{
+		click(1, 1, 10), click(1, 2, 20),
+		click(2, 1, 30), click(2, 2, 40),
+		click(3, 1, 50), click(3, 9, 60),
+	})
+	out, iters := Filter(ds, FilterConfig{MinItemSupport: 2, MinSessionLength: 2})
+	if iters < 1 {
+		t.Fatalf("iterations = %d", iters)
+	}
+	for i := range out.Sessions {
+		for _, it := range out.Sessions[i].Items {
+			if it == 9 {
+				t.Fatal("rare item survived filtering")
+			}
+		}
+	}
+	// Session 3 collapsed to one click and must be gone.
+	if len(out.Sessions) != 2 {
+		t.Errorf("sessions = %d, want 2", len(out.Sessions))
+	}
+}
+
+func TestFilterCascades(t *testing.T) {
+	// Removing item 9 (support 1) shrinks session 2 below the minimum,
+	// whose removal drops item 8's support below the minimum, which then
+	// shrinks session 1: the fixed point removes everything.
+	ds := Group("cascade", []Click{
+		click(1, 7, 10), click(1, 8, 20),
+		click(2, 8, 30), click(2, 9, 40),
+		click(3, 7, 50), click(3, 7, 55), click(3, 6, 60),
+	})
+	out, iters := Filter(ds, FilterConfig{MinItemSupport: 2, MinSessionLength: 2})
+	if iters < 2 {
+		t.Errorf("expected a multi-round cascade, converged in %d", iters)
+	}
+	// After the cascade: item 9 gone -> session 2 gone -> item 8 support 1
+	// -> session 1 gone -> item 7 support 1 (only session 3) -> clicks on
+	// 7 gone -> session 3 below min -> empty.
+	if len(out.Sessions) != 0 {
+		t.Errorf("sessions = %d, want 0 after full cascade", len(out.Sessions))
+	}
+}
+
+func TestFilterNoOpWhenSupported(t *testing.T) {
+	ds := Group("ok", []Click{
+		click(1, 1, 10), click(1, 2, 20),
+		click(2, 1, 30), click(2, 2, 40),
+	})
+	out, iters := Filter(ds, FilterConfig{MinItemSupport: 2, MinSessionLength: 2})
+	if iters != 1 {
+		t.Errorf("iterations = %d, want 1 (already clean)", iters)
+	}
+	if len(out.Sessions) != 2 || len(out.Clicks) != 4 {
+		t.Errorf("clean dataset was modified: %d sessions %d clicks", len(out.Sessions), len(out.Clicks))
+	}
+}
+
+func TestFilterEmptyDataset(t *testing.T) {
+	out, _ := Filter(Group("e", nil), FilterConfig{})
+	if len(out.Sessions) != 0 {
+		t.Error("filter invented sessions")
+	}
+}
+
+// TestFilterPropertyPostconditions: after filtering, every item meets the
+// support threshold and every session the length threshold, regardless of
+// input.
+func TestFilterPropertyPostconditions(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var clicks []Click
+		for s := 0; s < 40; s++ {
+			n := 1 + rng.Intn(5)
+			for j := 0; j < n; j++ {
+				clicks = append(clicks, click(SessionID(s), ItemID(rng.Intn(25)), int64(100*s+j)))
+			}
+		}
+		cfg := FilterConfig{MinItemSupport: 1 + rng.Intn(3), MinSessionLength: 2}
+		out, _ := Filter(Group("p", clicks), cfg)
+
+		support := map[ItemID]int{}
+		for i := range out.Sessions {
+			if out.Sessions[i].Len() < cfg.MinSessionLength {
+				return false
+			}
+			seen := map[ItemID]struct{}{}
+			for _, it := range out.Sessions[i].Items {
+				if _, dup := seen[it]; dup {
+					continue
+				}
+				seen[it] = struct{}{}
+				support[it]++
+			}
+		}
+		for _, n := range support {
+			if n < cfg.MinItemSupport {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

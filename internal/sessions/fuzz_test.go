@@ -1,0 +1,36 @@
+package sessions
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the CSV reader must never panic and must round-trip
+// anything it accepts.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("session_id,item_id,timestamp\n1,2,3\n")
+	f.Add("session_id,item_id,timestamp\n")
+	f.Add("session_id,item_id,timestamp\n1,2,3\n1,4,5\n2,2,9\n")
+	f.Add("bogus")
+	f.Add("session_id,item_id,timestamp\n-1,2,3\n")
+	f.Add("session_id,item_id,timestamp\n99999999999999999999,2,3\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		ds, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a write/read cycle unchanged.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, ds); err != nil {
+			t.Fatalf("WriteCSV of accepted dataset failed: %v", err)
+		}
+		again, err := ReadCSV(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of written dataset failed: %v", err)
+		}
+		if len(again.Clicks) != len(ds.Clicks) {
+			t.Fatalf("round trip changed click count: %d vs %d", len(again.Clicks), len(ds.Clicks))
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package sessions
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSV schema: header "session_id,item_id,timestamp" followed by one click
+// per row, matching the layout of the public datasets the paper evaluates on
+// (retailrocket, rsc15) after the standard session-rec preprocessing.
+
+// WriteCSV writes the dataset's click log in CSV form.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("session_id,item_id,timestamp\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, c := range ds.Clicks {
+		buf = buf[:0]
+		buf = strconv.AppendUint(buf, uint64(c.Session), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, uint64(c.Item), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, c.Time, 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a click log in the WriteCSV schema and groups it into a
+// dataset named name.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<16))
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = 3
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sessions: reading CSV header: %w", err)
+	}
+	if strings.TrimSpace(header[0]) != "session_id" {
+		return nil, fmt.Errorf("sessions: unexpected CSV header %q", strings.Join(header, ","))
+	}
+
+	var clicks []Click
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sessions: reading CSV: %w", err)
+		}
+		line++
+		sid, err := strconv.ParseUint(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sessions: line %d: bad session_id %q: %w", line, rec[0], err)
+		}
+		iid, err := strconv.ParseUint(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sessions: line %d: bad item_id %q: %w", line, rec[1], err)
+		}
+		ts, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sessions: line %d: bad timestamp %q: %w", line, rec[2], err)
+		}
+		clicks = append(clicks, Click{Session: SessionID(sid), Item: ItemID(iid), Time: ts})
+	}
+	return Group(name, clicks), nil
+}
+
+// SaveFile writes the dataset to path as CSV, gzip-compressed when the path
+// ends in ".gz".
+func SaveFile(path string, ds *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = gz
+	}
+	return WriteCSV(w, ds)
+}
+
+// LoadFile reads a dataset from a CSV file written by SaveFile,
+// transparently decompressing ".gz" paths. The dataset is named after the
+// file's base name without extensions.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("sessions: opening gzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(strings.TrimSuffix(name, ".gz"), ".csv")
+	return ReadCSV(r, name)
+}

@@ -1,0 +1,86 @@
+package sessions
+
+import (
+	"sort"
+	"time"
+)
+
+// Event is one raw interaction from the platform's event log: unlike a
+// Click it carries a user identifier instead of a session identifier —
+// sessionization derives the sessions.
+type Event struct {
+	User string
+	Item ItemID
+	// Time is a unix timestamp in seconds.
+	Time int64
+}
+
+// DefaultSessionGap is the inactivity threshold that closes a session, the
+// same 30-minute window the serving layer uses for session-state expiry.
+const DefaultSessionGap = 30 * time.Minute
+
+// Sessionize groups a raw event log into sessions: events of the same user
+// belong to the same session while consecutive events are at most gap
+// apart; a longer pause starts a new session. Session ids are assigned
+// densely in ascending session-timestamp order (ready for BuildIndex).
+// gap <= 0 selects DefaultSessionGap.
+func Sessionize(events []Event, gap time.Duration) *Dataset {
+	if gap <= 0 {
+		gap = DefaultSessionGap
+	}
+	gapSeconds := int64(gap / time.Second)
+
+	byUser := make(map[string][]Event)
+	for _, e := range events {
+		byUser[e.User] = append(byUser[e.User], e)
+	}
+
+	var raw []Session
+	for _, us := range byUser {
+		sort.SliceStable(us, func(i, j int) bool { return us[i].Time < us[j].Time })
+		var cur Session
+		flush := func() {
+			if len(cur.Items) > 0 {
+				raw = append(raw, cur)
+				cur = Session{}
+			}
+		}
+		for _, e := range us {
+			if n := len(cur.Times); n > 0 && e.Time-cur.Times[n-1] > gapSeconds {
+				flush()
+			}
+			cur.Items = append(cur.Items, e.Item)
+			cur.Times = append(cur.Times, e.Time)
+		}
+		flush()
+	}
+
+	// Dense ids in ascending session-time order; ties broken by content
+	// order for determinism across map iteration.
+	sort.SliceStable(raw, func(i, j int) bool {
+		if raw[i].Time() != raw[j].Time() {
+			return raw[i].Time() < raw[j].Time()
+		}
+		return lessSessionContent(&raw[i], &raw[j])
+	})
+	for i := range raw {
+		raw[i].ID = SessionID(i)
+	}
+	return FromSessions("sessionized", raw)
+}
+
+// lessSessionContent gives a deterministic order for equal-time sessions.
+func lessSessionContent(a, b *Session) bool {
+	if len(a.Items) != len(b.Items) {
+		return len(a.Items) < len(b.Items)
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return a.Items[i] < b.Items[i]
+		}
+		if a.Times[i] != b.Times[i] {
+			return a.Times[i] < b.Times[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package sessions
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ev(user string, item ItemID, t int64) Event { return Event{User: user, Item: item, Time: t} }
+
+func TestSessionizeSplitsOnGap(t *testing.T) {
+	const halfHour = 1800
+	events := []Event{
+		ev("alice", 1, 1000),
+		ev("alice", 2, 1000+60),            // same session (1 min later)
+		ev("alice", 3, 1000+60+halfHour+1), // new session (>30 min pause)
+		ev("bob", 9, 1500),
+	}
+	ds := Sessionize(events, 30*time.Minute)
+	if len(ds.Sessions) != 3 {
+		t.Fatalf("sessions = %d, want 3", len(ds.Sessions))
+	}
+	var aliceFirst *Session
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		if len(s.Items) == 2 {
+			aliceFirst = s
+		}
+	}
+	if aliceFirst == nil || !reflect.DeepEqual(aliceFirst.Items, []ItemID{1, 2}) {
+		t.Errorf("alice's first session wrong: %+v", ds.Sessions)
+	}
+}
+
+func TestSessionizeSeparatesUsers(t *testing.T) {
+	// Interleaved events of two users at identical times must form two
+	// sessions.
+	events := []Event{
+		ev("a", 1, 100), ev("b", 2, 100),
+		ev("a", 3, 110), ev("b", 4, 110),
+	}
+	ds := Sessionize(events, time.Hour)
+	if len(ds.Sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2 (one per user)", len(ds.Sessions))
+	}
+	for i := range ds.Sessions {
+		if ds.Sessions[i].Len() != 2 {
+			t.Errorf("session %d length %d, want 2", i, ds.Sessions[i].Len())
+		}
+	}
+}
+
+func TestSessionizeDenseTimeOrderedIDs(t *testing.T) {
+	events := []Event{
+		ev("late", 5, 9000),
+		ev("early", 6, 100),
+		ev("mid", 7, 5000),
+	}
+	ds := Sessionize(events, time.Hour)
+	for i := range ds.Sessions {
+		if ds.Sessions[i].ID != SessionID(i) {
+			t.Fatalf("ids not dense: %d at %d", ds.Sessions[i].ID, i)
+		}
+		if i > 0 && ds.Sessions[i].Time() < ds.Sessions[i-1].Time() {
+			t.Fatal("sessions not time-ordered")
+		}
+	}
+}
+
+func TestSessionizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var events []Event
+	users := []string{"u1", "u2", "u3", "u4"}
+	for i := 0; i < 200; i++ {
+		events = append(events, ev(users[rng.Intn(len(users))], ItemID(rng.Intn(20)), int64(rng.Intn(100000))))
+	}
+	a := Sessionize(events, 30*time.Minute)
+	b := Sessionize(events, 30*time.Minute)
+	if !reflect.DeepEqual(a.Sessions, b.Sessions) {
+		t.Error("sessionization not deterministic (map iteration leaked)")
+	}
+}
+
+func TestSessionizeEmptyAndDefaults(t *testing.T) {
+	if ds := Sessionize(nil, 0); len(ds.Sessions) != 0 {
+		t.Error("sessionized empty input to sessions")
+	}
+	// Default gap: a 29-minute pause keeps the session together.
+	events := []Event{ev("u", 1, 0), ev("u", 2, 29*60)}
+	if ds := Sessionize(events, 0); len(ds.Sessions) != 1 {
+		t.Error("default 30-minute gap not applied")
+	}
+}
+
+// TestSessionizePropertyInvariants: no clicks lost, every session's gaps
+// within bound, per-user ordering preserved.
+func TestSessionizePropertyInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var events []Event
+		for i := 0; i < 120; i++ {
+			events = append(events, Event{
+				User: string(rune('a' + rng.Intn(5))),
+				Item: ItemID(rng.Intn(15)),
+				Time: int64(rng.Intn(50000)),
+			})
+		}
+		gap := 20 * time.Minute
+		ds := Sessionize(events, gap)
+		total := 0
+		for i := range ds.Sessions {
+			s := &ds.Sessions[i]
+			total += s.Len()
+			for j := 1; j < len(s.Times); j++ {
+				if s.Times[j] < s.Times[j-1] {
+					return false // must be time-ordered
+				}
+				if s.Times[j]-s.Times[j-1] > int64(gap/time.Second) {
+					return false // gap bound violated within a session
+				}
+			}
+		}
+		return total == len(events)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"serenade/internal/sessions"
+)
+
+func TestValidate(t *testing.T) {
+	base := Small(1)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("Small config invalid: %v", err)
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.NumSessions = 0 },
+		func(c *Config) { c.NumItems = 1 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.Clusters = 0 },
+		func(c *Config) { c.Clusters = c.NumItems + 1 },
+		func(c *Config) { c.ZipfS = 1.0 },
+		func(c *Config) { c.PStay = 1.5 },
+		func(c *Config) { c.RevisitProb = -0.1 },
+		func(c *Config) { c.MaxLength = 1 },
+	}
+	for i, m := range mutate {
+		c := base
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Clicks) != len(b.Clicks) {
+		t.Fatalf("click counts differ: %d vs %d", len(a.Clicks), len(b.Clicks))
+	}
+	for i := range a.Clicks {
+		if a.Clicks[i] != b.Clicks[i] {
+			t.Fatalf("click %d differs: %v vs %v", i, a.Clicks[i], b.Clicks[i])
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Small(1))
+	b, _ := Generate(Small(2))
+	same := len(a.Clicks) == len(b.Clicks)
+	if same {
+		identical := true
+		for i := range a.Clicks {
+			if a.Clicks[i] != b.Clicks[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := Small(7)
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sessions) != c.NumSessions {
+		t.Fatalf("sessions = %d, want %d", len(ds.Sessions), c.NumSessions)
+	}
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		if s.Len() < 2 || s.Len() > c.MaxLength {
+			t.Fatalf("session %d length %d outside [2,%d]", i, s.Len(), c.MaxLength)
+		}
+		if s.ID != sessions.SessionID(i) {
+			t.Fatalf("session ids not dense: got %d at %d", s.ID, i)
+		}
+		for _, it := range s.Items {
+			if int(it) >= c.NumItems {
+				t.Fatalf("item %d out of range %d", it, c.NumItems)
+			}
+		}
+		if i > 0 && ds.Sessions[i].Time() < ds.Sessions[i-1].Time() {
+			t.Fatal("sessions not ordered by time after renumbering")
+		}
+	}
+	st := sessions.ComputeStats(ds)
+	if st.Days > c.Days+1 {
+		t.Errorf("day span %d exceeds configured %d", st.Days, c.Days)
+	}
+	if st.P25 < 2 {
+		t.Errorf("p25 = %d, want >= 2", st.P25)
+	}
+}
+
+// TestLengthDistributionShape verifies the Table 1 shape: short median,
+// long tail, on the ecom profile settings.
+func TestLengthDistributionShape(t *testing.T) {
+	c := Small(3)
+	c.NumSessions = 8000
+	c.LengthMu, c.LengthSigma, c.MaxLength = 1.35, 0.95, 200
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sessions.ComputeStats(ds)
+	if st.P50 < 2 || st.P50 > 7 {
+		t.Errorf("p50 = %d, want a short median like the paper's 2-4", st.P50)
+	}
+	if st.P99 < 12 {
+		t.Errorf("p99 = %d, want a long tail (>12)", st.P99)
+	}
+	if st.P99 <= st.P75 || st.P75 < st.P50 || st.P50 < st.P25 {
+		t.Errorf("percentiles not monotone: %d %d %d %d", st.P25, st.P50, st.P75, st.P99)
+	}
+}
+
+// TestPopularitySkew verifies the Zipf popularity: the most popular 10% of
+// items should receive well over 10% of the clicks.
+func TestPopularitySkew(t *testing.T) {
+	ds, err := Generate(Small(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[sessions.ItemID]int)
+	for _, c := range ds.Clicks {
+		counts[c.Item]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, n := range counts {
+		freqs = append(freqs, n)
+	}
+	// partial selection: count clicks on the top decile
+	total := 0
+	for _, n := range freqs {
+		total += n
+	}
+	// sort descending
+	for i := 1; i < len(freqs); i++ {
+		for j := i; j > 0 && freqs[j] > freqs[j-1]; j-- {
+			freqs[j], freqs[j-1] = freqs[j-1], freqs[j]
+		}
+	}
+	top := len(freqs) / 10
+	if top == 0 {
+		top = 1
+	}
+	topClicks := 0
+	for _, n := range freqs[:top] {
+		topClicks += n
+	}
+	if share := float64(topClicks) / float64(total); share < 0.3 {
+		t.Errorf("top-decile click share = %.2f, want >= 0.3 (Zipf skew)", share)
+	}
+}
+
+// TestSequentialSignal verifies that consecutive clicks within a session
+// share a cluster far more often than random item pairs would, i.e. the
+// generator produces learnable sequential structure.
+func TestSequentialSignal(t *testing.T) {
+	c := Small(5)
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := c.NumItems / c.Clusters
+	clusterOf := func(it sessions.ItemID) int { return int(it) / per }
+	same, pairs := 0, 0
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		for j := 1; j < len(s.Items); j++ {
+			pairs++
+			if clusterOf(s.Items[j]) == clusterOf(s.Items[j-1]) {
+				same++
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no consecutive pairs generated")
+	}
+	if share := float64(same) / float64(pairs); share < 0.5 {
+		t.Errorf("same-cluster consecutive share = %.2f, want >= 0.5", share)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	names := Profiles()
+	if len(names) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(names))
+	}
+	if names[0] != "retailrocket-sim" || names[5] != "ecom-180m-sim" {
+		t.Errorf("profile order = %v, want Table 1 order", names)
+	}
+	for _, n := range names {
+		c, err := Profile(n)
+		if err != nil {
+			t.Fatalf("Profile(%s): %v", n, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", n, err)
+		}
+	}
+	if _, err := Profile("nope"); err == nil {
+		t.Error("expected error for unknown profile")
+	}
+}
+
+// TestProfileSizesOrdered checks the stand-in datasets preserve the paper's
+// relative size ordering.
+func TestProfileSizesOrdered(t *testing.T) {
+	names := []string{"ecom-1m-sim", "ecom-60m-sim", "ecom-90m-sim", "ecom-180m-sim"}
+	prev := 0
+	for _, n := range names {
+		c, _ := Profile(n)
+		if c.NumSessions <= prev {
+			t.Errorf("profile %s sessions %d not larger than previous %d", n, c.NumSessions, prev)
+		}
+		prev = c.NumSessions
+	}
+}
+
+func TestGeneratePropertyValidSessions(t *testing.T) {
+	prop := func(seed int64) bool {
+		c := Small(seed)
+		c.NumSessions = 100
+		ds, err := Generate(c)
+		if err != nil {
+			return false
+		}
+		for i := range ds.Sessions {
+			s := &ds.Sessions[i]
+			if len(s.Items) != len(s.Times) || len(s.Items) < 2 {
+				return false
+			}
+			for j := 1; j < len(s.Times); j++ {
+				if s.Times[j] < s.Times[j-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package vsknn implements the VS-kNN baseline (Algorithm 1 of the paper)
+// the way the paper's §5.1.3 microbenchmark describes it: historical data is
+// held in hashmaps, and each query first materialises the m most recent
+// sessions sharing at least one item with the evolving session before
+// computing their similarities — the two-phase plan whose large intermediate
+// results VMIS-kNN's joint execution avoids.
+//
+// The similarity and scoring semantics (decay π, match weight λ, the §3
+// simplifications of the scoring function) are identical to internal/core,
+// so that both implementations return the same recommendations; only the
+// execution strategy differs. This is the baseline of Figure 3(a), bottom.
+package vsknn
+
+import (
+	"math"
+	"sort"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// Baseline answers VS-kNN queries from hashmap-held historical data.
+// It is immutable after construction and safe for concurrent use (queries
+// allocate their intermediates per call — deliberately, as that is the
+// design point being benchmarked).
+type Baseline struct {
+	itemSessions map[sessions.ItemID][]sessions.SessionID // ascending id (= ascending time)
+	times        []int64
+	sessionItems [][]sessions.ItemID
+	idf          map[sessions.ItemID]float64
+	numSessions  int
+}
+
+// New builds the baseline store from a dataset with dense, time-ascending
+// session ids (use sessions.Renumber first).
+func New(ds *sessions.Dataset) *Baseline {
+	b := &Baseline{
+		itemSessions: make(map[sessions.ItemID][]sessions.SessionID),
+		times:        make([]int64, len(ds.Sessions)),
+		sessionItems: make([][]sessions.ItemID, len(ds.Sessions)),
+		idf:          make(map[sessions.ItemID]float64),
+		numSessions:  len(ds.Sessions),
+	}
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		b.times[i] = s.Time()
+		seen := make(map[sessions.ItemID]struct{}, len(s.Items))
+		unique := make([]sessions.ItemID, 0, len(s.Items))
+		for _, it := range s.Items {
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			unique = append(unique, it)
+			b.itemSessions[it] = append(b.itemSessions[it], sessions.SessionID(i))
+		}
+		b.sessionItems[i] = unique
+	}
+	for it, list := range b.itemSessions {
+		b.idf[it] = idf(b.numSessions, len(list))
+	}
+	return b
+}
+
+func idf(total, df int) float64 {
+	if df == 0 {
+		return 0
+	}
+	return math.Log(float64(total) / float64(df))
+}
+
+// NeighborSessions runs Algorithm 1 lines 5-7: gather every historical
+// session sharing an item with the evolving session, take the recency-based
+// sample of size m, then keep the k most similar.
+func (b *Baseline) NeighborSessions(evolving []sessions.ItemID, p core.Params) []core.Neighbor {
+	p = normalize(p)
+	s := truncate(evolving, p.MaxSessionLength)
+	length := len(s)
+
+	// Distinct evolving items with their most recent 1-based positions.
+	type posItem struct {
+		item sessions.ItemID
+		pos  int
+	}
+	var items []posItem
+	dup := make(map[sessions.ItemID]struct{}, length)
+	for pos := length; pos >= 1; pos-- {
+		it := s[pos-1]
+		if _, ok := dup[it]; ok {
+			continue
+		}
+		dup[it] = struct{}{}
+		items = append(items, posItem{item: it, pos: pos})
+	}
+
+	// Phase 1: materialise the full candidate set H_s (every session that
+	// shares at least one item), then sample the m most recent.
+	candidateSet := make(map[sessions.SessionID]struct{})
+	for _, pi := range items {
+		for _, sid := range b.itemSessions[pi.item] {
+			candidateSet[sid] = struct{}{}
+		}
+	}
+	candidates := make([]sessions.SessionID, 0, len(candidateSet))
+	for sid := range candidateSet {
+		candidates = append(candidates, sid)
+	}
+	// Most recent first; ids ascend with time, and ids are unique, so
+	// descending id is descending (time, id).
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] > candidates[j] })
+	if len(candidates) > p.M {
+		candidates = candidates[:p.M]
+	}
+
+	// Phase 2: similarity of each sampled session via set intersection.
+	neighbors := make([]core.Neighbor, 0, len(candidates))
+	for _, sid := range candidates {
+		inSession := make(map[sessions.ItemID]struct{}, len(b.sessionItems[sid]))
+		for _, it := range b.sessionItems[sid] {
+			inSession[it] = struct{}{}
+		}
+		score := 0.0
+		maxPos := 0
+		for _, pi := range items {
+			if _, shared := inSession[pi.item]; !shared {
+				continue
+			}
+			score += p.Decay(pi.pos, length)
+			if pi.pos > maxPos {
+				maxPos = pi.pos
+			}
+		}
+		if score > 0 {
+			neighbors = append(neighbors, core.Neighbor{
+				ID: sid, Score: score, MaxPos: maxPos, Time: b.times[sid],
+			})
+		}
+	}
+
+	// Phase 3: k most similar, ties toward the more recent session —
+	// the same ordering as core's bounded heap.
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].Score != neighbors[j].Score {
+			return neighbors[i].Score > neighbors[j].Score
+		}
+		return neighbors[i].Time > neighbors[j].Time
+	})
+	if len(neighbors) > p.K {
+		neighbors = neighbors[:p.K]
+	}
+	return neighbors
+}
+
+// Recommend scores the items of the neighbour sessions exactly as
+// internal/core does and returns the top n.
+func (b *Baseline) Recommend(evolving []sessions.ItemID, n int, p core.Params) []core.ScoredItem {
+	if n <= 0 || len(evolving) == 0 {
+		return nil
+	}
+	p = normalize(p)
+	neighbors := b.NeighborSessions(evolving, p)
+	scores := make(map[sessions.ItemID]float64)
+	for _, nb := range neighbors {
+		w := p.MatchWeight(nb.MaxPos) * nb.Score
+		if w == 0 {
+			continue
+		}
+		for _, item := range b.sessionItems[nb.ID] {
+			scores[item] += w * b.idf[item]
+		}
+	}
+	var out []core.ScoredItem
+	for item, score := range scores {
+		if score > 0 {
+			out = append(out, core.ScoredItem{Item: item, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Item < out[j].Item
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func truncate(evolving []sessions.ItemID, max int) []sessions.ItemID {
+	if len(evolving) > max {
+		return evolving[len(evolving)-max:]
+	}
+	return evolving
+}
+
+func normalize(p core.Params) core.Params {
+	if p.MaxSessionLength <= 0 {
+		p.MaxSessionLength = core.DefaultMaxSessionLength
+	}
+	if p.Decay == nil {
+		p.Decay = core.LinearDecay
+	}
+	if p.MatchWeight == nil {
+		p.MatchWeight = core.LinearMatchWeight
+	}
+	return p
+}

@@ -1,0 +1,167 @@
+package vsknn
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// randomDataset builds sessions with strictly increasing timestamps so that
+// recency tie-breaking is deterministic across implementations.
+func randomDataset(rng *rand.Rand, n, vocab int) *sessions.Dataset {
+	var ss []sessions.Session
+	tick := int64(1000)
+	for i := 0; i < n; i++ {
+		length := 2 + rng.Intn(6)
+		items := make([]sessions.ItemID, length)
+		times := make([]int64, length)
+		for j := range items {
+			items[j] = sessions.ItemID(rng.Intn(vocab))
+			tick++
+			times[j] = tick
+		}
+		ss = append(ss, sessions.Session{ID: sessions.SessionID(i), Items: items, Times: times})
+	}
+	return sessions.FromSessions("rand", ss)
+}
+
+func TestToyExampleMatchesPaper(t *testing.T) {
+	var ss []sessions.Session
+	for i, items := range [][]sessions.ItemID{{2, 4}, {9, 8, 7}} {
+		times := make([]int64, len(items))
+		for j := range times {
+			times[j] = int64(1000 + 100*i + j)
+		}
+		ss = append(ss, sessions.Session{ID: sessions.SessionID(i), Items: items, Times: times})
+	}
+	b := New(sessions.FromSessions("toy", ss))
+	p := core.Params{M: 10, K: 10}
+	neighbors := b.NeighborSessions([]sessions.ItemID{1, 2, 4}, p)
+	if len(neighbors) != 1 {
+		t.Fatalf("neighbors = %d, want 1", len(neighbors))
+	}
+	if want := 5.0 / 3.0; math.Abs(neighbors[0].Score-want) > 1e-12 {
+		t.Errorf("similarity = %v, want 5/3", neighbors[0].Score)
+	}
+	if neighbors[0].MaxPos != 3 {
+		t.Errorf("maxPos = %d, want 3", neighbors[0].MaxPos)
+	}
+}
+
+func TestRecommendEmpty(t *testing.T) {
+	b := New(sessions.FromSessions("e", nil))
+	if got := b.Recommend([]sessions.ItemID{1}, 5, core.Params{M: 5, K: 5}); got != nil {
+		t.Errorf("Recommend on empty history = %v, want nil", got)
+	}
+	if got := b.Recommend(nil, 5, core.Params{M: 5, K: 5}); got != nil {
+		t.Errorf("Recommend(nil) = %v, want nil", got)
+	}
+}
+
+func TestRecencySample(t *testing.T) {
+	// Sessions 0..4 all contain item 1; with M=2 the sample is {3,4}.
+	var ss []sessions.Session
+	for i := 0; i < 5; i++ {
+		ss = append(ss, sessions.Session{
+			ID:    sessions.SessionID(i),
+			Items: []sessions.ItemID{1},
+			Times: []int64{int64(1000 + i)},
+		})
+	}
+	b := New(sessions.FromSessions("r", ss))
+	neighbors := b.NeighborSessions([]sessions.ItemID{1}, core.Params{M: 2, K: 2})
+	ids := map[sessions.SessionID]bool{}
+	for _, nb := range neighbors {
+		ids[nb.ID] = true
+	}
+	if !ids[3] || !ids[4] || len(ids) != 2 {
+		t.Errorf("sample = %v, want the most recent {3,4}", ids)
+	}
+}
+
+// TestEquivalenceWithVMISkNN is the central correctness property: on random
+// datasets with unique timestamps, the two-phase VS-kNN baseline and the
+// index-based VMIS-kNN return identical neighbour sets (same similarities,
+// same match positions) and identical recommendations. VMIS-kNN is "an
+// adaptation" of VS-kNN (§3) — the algorithms must agree; only the execution
+// strategy differs.
+func TestEquivalenceWithVMISkNN(t *testing.T) {
+	for _, cfg := range []struct {
+		name           string
+		n, vocab, m, k int
+	}{
+		{"smallSampleForcesEviction", 300, 30, 10, 5},
+		{"largeSample", 200, 60, 100, 20},
+		{"kEqualsM", 150, 40, 25, 25},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cfg.n + cfg.vocab)))
+			ds := randomDataset(rng, cfg.n, cfg.vocab)
+			baseline := New(ds)
+			idx, err := core.BuildIndex(ds, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := core.Params{M: cfg.m, K: cfg.k}
+			vmis, err := core.NewRecommender(idx, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 150; trial++ {
+				length := 1 + rng.Intn(6)
+				evolving := make([]sessions.ItemID, length)
+				for i := range evolving {
+					evolving[i] = sessions.ItemID(rng.Intn(cfg.vocab))
+				}
+
+				na := baseline.NeighborSessions(evolving, p)
+				nb := vmis.NeighborSessions(evolving)
+				sortNeighbors(na)
+				nbCopy := append([]core.Neighbor(nil), nb...)
+				sortNeighbors(nbCopy)
+				if !reflect.DeepEqual(na, nbCopy) {
+					t.Fatalf("neighbour sets differ for %v:\nVS:   %+v\nVMIS: %+v", evolving, na, nbCopy)
+				}
+
+				ra := baseline.Recommend(evolving, 21, p)
+				rb := vmis.Recommend(evolving, 21)
+				if len(ra) == 0 && len(rb) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(ra, rb) {
+					t.Fatalf("recommendations differ for %v:\nVS:   %v\nVMIS: %v", evolving, ra, rb)
+				}
+			}
+		})
+	}
+}
+
+func sortNeighbors(ns []core.Neighbor) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+func BenchmarkVSkNNRecommend(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDataset(rng, 5000, 500)
+	baseline := New(ds)
+	p := core.Params{M: 500, K: 100}
+	queries := make([][]sessions.ItemID, 256)
+	for i := range queries {
+		length := 1 + rng.Intn(6)
+		q := make([]sessions.ItemID, length)
+		for j := range q {
+			q[j] = sessions.ItemID(rng.Intn(500))
+		}
+		queries[i] = q
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.Recommend(queries[i%len(queries)], 21, p)
+	}
+}
