@@ -1,0 +1,30 @@
+# Development targets. `make verify` is the repo's tier-1 check: build, vet,
+# the full test suite, and the race detector over the packages whose hot path
+# shares pooled state across goroutines (the dense scoring kernel under
+# concurrent index swaps).
+
+GO ?= go
+
+.PHONY: verify build vet test race bench kernel-bench
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/serving
+
+# All microbenchmarks, quick.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Hot-path scoring kernel vs the retained map-based reference.
+kernel-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRecommend|BenchmarkNeighborSessions' -benchmem ./internal/core

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the debug mux (flag-gated)
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +40,7 @@ func main() {
 		storeDir  = flag.String("store-dir", "", "durable session store directory (empty = memory only)")
 		fallback  = flag.Bool("fallback-popular", true, "pad short lists with popular items")
 		trendHL   = flag.Duration("trending-half-life", 2*time.Hour, "trending tracker half-life (0 disables /v1/trending)")
+		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	)
 	flag.Parse()
 	if *indexPath == "" {
@@ -89,6 +91,24 @@ func main() {
 		}
 	}()
 	defer close(sweepDone)
+
+	// Profiling endpoints live on their own listener so they are never
+	// reachable through the public serving address: CPU and allocation
+	// profiles of the live scoring kernel come from
+	// /debug/pprof/{profile,heap,allocs} on this port only.
+	if *debugAddr != "" {
+		go func() {
+			dbg := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           http.DefaultServeMux, // net/http/pprof registers here
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			log.Printf("pprof debug server on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

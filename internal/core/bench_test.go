@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"serenade/internal/sessions"
+)
+
+// Hot-path microbenchmarks for the dense scoring kernel, with the retained
+// map-based reference measured under identical workloads so the kernel's
+// win (ns/op and allocs/op) is directly visible in one `go test -bench` run.
+// Session lengths: small (2 clicks, the median of Table 1), medium (9, the
+// full default scoring window), large (30, exercising truncation).
+
+const benchVocab = 500
+
+func benchSetup(b testing.TB) *Index {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := randomDataset(rng, 5000, benchVocab)
+	idx, err := BuildIndex(ds, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+func benchQueries(length int) [][]sessions.ItemID {
+	rng := rand.New(rand.NewSource(2))
+	queries := make([][]sessions.ItemID, 256)
+	for i := range queries {
+		q := make([]sessions.ItemID, length)
+		for j := range q {
+			q[j] = sessions.ItemID(rng.Intn(benchVocab))
+		}
+		queries[i] = q
+	}
+	return queries
+}
+
+var benchLengths = []int{2, 9, 30}
+
+func BenchmarkNeighborSessions(b *testing.B) {
+	idx := benchSetup(b)
+	for _, length := range benchLengths {
+		b.Run(fmt.Sprintf("len=%d", length), func(b *testing.B) {
+			r, err := NewRecommender(idx, Params{M: 500, K: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := benchQueries(length)
+			r.NeighborSessions(queries[0]) // warm buffer growth out of the measurement
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.NeighborSessions(queries[i%len(queries)])
+			}
+		})
+	}
+}
+
+func BenchmarkNeighborSessionsMapReference(b *testing.B) {
+	idx := benchSetup(b)
+	for _, length := range benchLengths {
+		b.Run(fmt.Sprintf("len=%d", length), func(b *testing.B) {
+			r, err := NewReferenceRecommender(idx, Params{M: 500, K: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := benchQueries(length)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.NeighborSessions(queries[i%len(queries)])
+			}
+		})
+	}
+}
+
+func BenchmarkRecommend(b *testing.B) {
+	idx := benchSetup(b)
+	for _, length := range benchLengths {
+		b.Run(fmt.Sprintf("len=%d", length), func(b *testing.B) {
+			r, err := NewRecommender(idx, Params{M: 500, K: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := benchQueries(length)
+			r.Recommend(queries[0], 21)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Recommend(queries[i%len(queries)], 21)
+			}
+		})
+	}
+}
+
+func BenchmarkRecommendMapReference(b *testing.B) {
+	idx := benchSetup(b)
+	for _, length := range benchLengths {
+		b.Run(fmt.Sprintf("len=%d", length), func(b *testing.B) {
+			r, err := NewReferenceRecommender(idx, Params{M: 500, K: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := benchQueries(length)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Recommend(queries[i%len(queries)], 21)
+			}
+		})
+	}
+}
+
+// TestRecommendSteadyStateZeroAlloc pins the kernel's headline property: a
+// steady-state query allocates nothing on the heap.
+func TestRecommendSteadyStateZeroAlloc(t *testing.T) {
+	idx := benchSetup(t)
+	r, err := NewRecommender(idx, Params{M: 500, K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := benchQueries(9)
+	// Warm-up: let nbrBuf/outBuf/touched grow to their steady-state sizes.
+	for _, q := range queries {
+		r.Recommend(q, 21)
+	}
+	var i int
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Recommend(queries[i%len(queries)], 21)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Recommend allocates %.1f times per op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		r.NeighborSessions(queries[i%len(queries)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state NeighborSessions allocates %.1f times per op, want 0", allocs)
+	}
+}

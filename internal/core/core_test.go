@@ -369,25 +369,3 @@ func randomEvolving(rng *rand.Rand, vocab int) []sessions.ItemID {
 	}
 	return out
 }
-
-func BenchmarkRecommend(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	ds := randomDataset(rng, 5000, 500)
-	idx, err := BuildIndex(ds, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	r, err := NewRecommender(idx, Params{M: 500, K: 100})
-	if err != nil {
-		b.Fatal(err)
-	}
-	queries := make([][]sessions.ItemID, 256)
-	for i := range queries {
-		queries[i] = randomEvolving(rng, 500)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Recommend(queries[i%len(queries)], 21)
-	}
-}

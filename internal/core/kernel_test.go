@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"serenade/internal/sessions"
+)
+
+func TestProbeTableSizing(t *testing.T) {
+	for _, tc := range []struct{ m, size int }{
+		{1, 4}, {2, 4}, {3, 8}, {100, 256}, {500, 1024}, {1500, 4096},
+	} {
+		tab := newProbeTable(tc.m)
+		if len(tab.slots) != tc.size {
+			t.Errorf("newProbeTable(%d): %d slots, want %d", tc.m, len(tab.slots), tc.size)
+		}
+		if len(tab.slots)&(len(tab.slots)-1) != 0 {
+			t.Errorf("newProbeTable(%d): size %d is not a power of two", tc.m, len(tab.slots))
+		}
+	}
+}
+
+func TestProbeTableInsertFindDelete(t *testing.T) {
+	tab := newProbeTable(8)
+	tab.reset()
+	for i := 0; i < 8; i++ {
+		tab.insert(sessions.SessionID(i*7), float64(i)+0.5, int32(i))
+	}
+	if tab.len() != 8 {
+		t.Fatalf("len = %d, want 8", tab.len())
+	}
+	for i := 0; i < 8; i++ {
+		sl := tab.find(sessions.SessionID(i * 7))
+		if sl == nil {
+			t.Fatalf("key %d not found", i*7)
+		}
+		if sl.score != float64(i)+0.5 || sl.maxPos != int32(i) {
+			t.Errorf("key %d: got (%v,%d), want (%v,%d)", i*7, sl.score, sl.maxPos, float64(i)+0.5, i)
+		}
+	}
+	if tab.find(999) != nil {
+		t.Error("absent key found")
+	}
+	tab.delete(3 * 7)
+	if tab.find(3*7) != nil {
+		t.Error("deleted key still found")
+	}
+	if tab.len() != 7 {
+		t.Errorf("len after delete = %d, want 7", tab.len())
+	}
+	for i := 0; i < 8; i++ {
+		if i == 3 {
+			continue
+		}
+		if tab.find(sessions.SessionID(i*7)) == nil {
+			t.Errorf("key %d lost after unrelated delete", i*7)
+		}
+	}
+}
+
+func TestProbeTableReset(t *testing.T) {
+	tab := newProbeTable(4)
+	tab.reset()
+	tab.insert(1, 1, 1)
+	tab.insert(2, 2, 2)
+	tab.reset()
+	if tab.len() != 0 {
+		t.Errorf("len after reset = %d, want 0", tab.len())
+	}
+	if tab.find(1) != nil || tab.find(2) != nil {
+		t.Error("stale entries visible after reset")
+	}
+	tab.insert(1, 9, 9)
+	if sl := tab.find(1); sl == nil || sl.score != 9 {
+		t.Error("re-insert after reset failed")
+	}
+}
+
+// TestProbeTableEpochWraparound forces the uint32 epoch to wrap and checks
+// that stale stamps cannot masquerade as live entries afterwards.
+func TestProbeTableEpochWraparound(t *testing.T) {
+	tab := newProbeTable(4)
+	tab.epoch = ^uint32(0) - 1 // two resets away from wrapping
+	tab.reset()
+	tab.insert(42, 1, 1)
+	tab.reset() // wraps: stamps wiped, epoch restarts at 1
+	if tab.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", tab.epoch)
+	}
+	if tab.find(42) != nil {
+		t.Error("pre-wrap entry visible after wraparound reset")
+	}
+	tab.insert(7, 3, 3)
+	if sl := tab.find(7); sl == nil || sl.score != 3 {
+		t.Error("insert after wraparound failed")
+	}
+}
+
+// TestProbeTableAgainstMap drives the table with a randomized insert /
+// accumulate / delete workload mirroring the eviction-heavy candidate loop,
+// checking every operation against a plain map oracle. This exercises the
+// backward-shift deletion's cyclic-interval logic under collision-heavy
+// keys (multiples of the table size hash near one another).
+func TestProbeTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const maxLive = 16
+	tab := newProbeTable(maxLive)
+	oracle := map[sessions.SessionID]float64{}
+	var live []sessions.SessionID
+
+	for round := 0; round < 200; round++ {
+		tab.reset()
+		clear(oracle)
+		live = live[:0]
+		for op := 0; op < 300; op++ {
+			key := sessions.SessionID(rng.Intn(64))
+			if sl := tab.find(key); sl != nil {
+				if _, ok := oracle[key]; !ok {
+					t.Fatalf("round %d: table has %d, oracle does not", round, key)
+				}
+				sl.score += 1
+				oracle[key] += 1
+				continue
+			}
+			if _, ok := oracle[key]; ok {
+				t.Fatalf("round %d: oracle has %d, table does not", round, key)
+			}
+			if tab.len() == maxLive {
+				victim := live[rng.Intn(len(live))]
+				tab.delete(victim)
+				delete(oracle, victim)
+				for i, k := range live {
+					if k == victim {
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+						break
+					}
+				}
+			}
+			tab.insert(key, 1, int32(op))
+			oracle[key] = 1
+			live = append(live, key)
+		}
+		if tab.len() != len(oracle) {
+			t.Fatalf("round %d: len %d != oracle %d", round, tab.len(), len(oracle))
+		}
+		for key, want := range oracle {
+			sl := tab.find(key)
+			if sl == nil {
+				t.Fatalf("round %d: key %d missing", round, key)
+			}
+			if sl.score != want {
+				t.Fatalf("round %d: key %d score %v, want %v", round, key, sl.score, want)
+			}
+		}
+	}
+}
+
+func TestItemAccumulatorSparseReset(t *testing.T) {
+	acc := newItemAccumulator(10)
+	acc.add(3, 1.5)
+	acc.add(7, 2.0)
+	acc.add(3, 0.5)
+	if len(acc.touched) != 2 {
+		t.Errorf("touched = %v, want exactly {3,7}", acc.touched)
+	}
+	if acc.scores[3] != 2.0 || acc.scores[7] != 2.0 {
+		t.Errorf("scores = %v/%v, want 2/2", acc.scores[3], acc.scores[7])
+	}
+	acc.resetSparse()
+	for i, s := range acc.scores {
+		if s != 0 {
+			t.Errorf("scores[%d] = %v after reset, want 0", i, s)
+		}
+	}
+	if len(acc.touched) != 0 {
+		t.Errorf("touched not cleared: %v", acc.touched)
+	}
+}
+
+// TestRecommenderMemoryIndependentOfSessions pins the O(M + numItems) bound:
+// two recommenders with the same parameters and item vocabulary must report
+// the same footprint regardless of how many sessions their indexes hold.
+func TestRecommenderMemoryIndependentOfSessions(t *testing.T) {
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(12))
+	dsSmall := randomDataset(rngA, 100, 50)
+	dsLarge := randomDataset(rngB, 4000, 50)
+	idxSmall := mustIndex(t, dsSmall, 0)
+	idxLarge := mustIndex(t, dsLarge, 0)
+	if idxSmall.NumItems() != idxLarge.NumItems() {
+		t.Skipf("vocabularies diverged (%d vs %d)", idxSmall.NumItems(), idxLarge.NumItems())
+	}
+	p := Params{M: 50, K: 20}
+	a := mustRecommender(t, idxSmall, p)
+	b := mustRecommender(t, idxLarge, p)
+	fa, fb := a.MemoryFootprint(), b.MemoryFootprint()
+	if fa <= 0 || fb <= 0 {
+		t.Fatalf("footprints must be positive: %d, %d", fa, fb)
+	}
+	if fa != fb {
+		t.Errorf("footprint varies with session count: %d (100 sessions) vs %d (4000 sessions)", fa, fb)
+	}
+}

@@ -108,6 +108,139 @@ func TestNeighborInvariantsProperty(t *testing.T) {
 	}
 }
 
+// assertSameRecommendations fails unless the dense kernel and the map-based
+// reference produced the same ranked output: identical items in identical
+// (tie-break) order, scores within 1e-12.
+func assertSameRecommendations(t *testing.T, q []sessions.ItemID, dense, ref []ScoredItem) {
+	t.Helper()
+	if len(dense) != len(ref) {
+		t.Fatalf("query %v: dense kernel returned %d items, reference %d\ndense: %v\nref:   %v",
+			q, len(dense), len(ref), dense, ref)
+	}
+	for i := range dense {
+		if dense[i].Item != ref[i].Item {
+			t.Fatalf("query %v: rank %d is item %d (dense) vs %d (reference)",
+				q, i, dense[i].Item, ref[i].Item)
+		}
+		if math.Abs(dense[i].Score-ref[i].Score) > 1e-12 {
+			t.Fatalf("query %v: item %d scored %v (dense) vs %v (reference)",
+				q, dense[i].Item, dense[i].Score, ref[i].Score)
+		}
+	}
+}
+
+// assertSameNeighbors fails unless both implementations agreed on the
+// neighbour list: ids, match positions, timestamps, and order identical,
+// similarities within 1e-12.
+func assertSameNeighbors(t *testing.T, q []sessions.ItemID, dense, ref []Neighbor) {
+	t.Helper()
+	if len(dense) != len(ref) {
+		t.Fatalf("query %v: dense kernel found %d neighbours, reference %d\ndense: %v\nref:   %v",
+			q, len(dense), len(ref), dense, ref)
+	}
+	for i := range dense {
+		d, r := dense[i], ref[i]
+		if d.ID != r.ID || d.MaxPos != r.MaxPos || d.Time != r.Time {
+			t.Fatalf("query %v: neighbour %d is %+v (dense) vs %+v (reference)", q, i, d, r)
+		}
+		if math.Abs(d.Score-r.Score) > 1e-12 {
+			t.Fatalf("query %v: session %d similarity %v (dense) vs %v (reference)",
+				q, d.ID, d.Score, r.Score)
+		}
+	}
+}
+
+// TestDenseKernelMatchesReferenceProperty is the differential property test
+// for the zero-allocation kernel: over randomized datasets, parameters and
+// queries — with M small enough to force recency eviction, with and without
+// early stopping, and with alternating output lengths n exercising the
+// grow-and-reuse output heap — the dense kernel must return exactly what the
+// retained map-based implementation returns. Timestamps are strictly
+// increasing per dataset, so (score, time) ties cannot occur and the ranked
+// output is fully deterministic.
+func TestDenseKernelMatchesReferenceProperty(t *testing.T) {
+	prop := func(seed int64, mSeed, kSeed, nSeed uint8, noEarlyStop bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDataset(rng, 100+rng.Intn(300), 10+rng.Intn(40))
+		idx, err := BuildIndex(ds, 0)
+		if err != nil {
+			return false
+		}
+		// Small M relative to the dataset keeps the recency heap full, so
+		// the probe table's delete path (eviction) runs constantly.
+		m := int(mSeed)%25 + 1
+		k := int(kSeed)%m + 1
+		n := int(nSeed)%30 + 1
+		p := Params{M: m, K: k, DisableEarlyStopping: noEarlyStop}
+		dense, err := NewRecommender(idx, p)
+		if err != nil {
+			return false
+		}
+		ref, err := NewReferenceRecommender(idx, p)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := randomEvolving(rng, 50)
+			assertSameNeighbors(t,
+				q,
+				append([]Neighbor(nil), dense.NeighborSessions(q)...),
+				ref.NeighborSessions(q))
+			// Alternate n so the reused output heap shrinks and grows.
+			trialN := n
+			if trial%2 == 1 {
+				trialN = n%7 + 1
+			}
+			assertSameRecommendations(t,
+				q,
+				append([]ScoredItem(nil), dense.Recommend(q, trialN)...),
+				ref.Recommend(q, trialN))
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDenseKernelEvictionChurn pins the hardest kernel edge case directly:
+// every historical session shares one hot item, M is tiny, and queries hit
+// that item, so nearly every posting either evicts or early-stops. The
+// kernel and reference must still agree, with early stopping on and off.
+func TestDenseKernelEvictionChurn(t *testing.T) {
+	const hot = 0
+	var lists [][]sessions.ItemID
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 120; i++ {
+		s := []sessions.ItemID{hot}
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			s = append(s, sessions.ItemID(1+rng.Intn(30)))
+		}
+		lists = append(lists, s)
+	}
+	idx := mustIndex(t, buildDataset(t, lists), 0)
+	for _, noEarlyStop := range []bool{false, true} {
+		p := Params{M: 3, K: 3, DisableEarlyStopping: noEarlyStop}
+		dense := mustRecommender(t, idx, p)
+		ref, err := NewReferenceRecommender(idx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			q := []sessions.ItemID{sessions.ItemID(1 + rng.Intn(30)), hot}
+			if trial%3 == 0 {
+				q = append(q, sessions.ItemID(1+rng.Intn(30)))
+			}
+			assertSameNeighbors(t, q,
+				append([]Neighbor(nil), dense.NeighborSessions(q)...),
+				ref.NeighborSessions(q))
+			assertSameRecommendations(t, q,
+				append([]ScoredItem(nil), dense.Recommend(q, 10)...),
+				ref.Recommend(q, 10))
+		}
+	}
+}
+
 // TestMonotoneMProperty: growing the recency sample can only widen the
 // candidate set — every neighbour found with a smaller m must score at
 // least as high with a larger m (its accumulated similarity cannot shrink).

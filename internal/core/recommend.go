@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"serenade/internal/dheap"
 	"serenade/internal/sessions"
 )
@@ -20,36 +22,38 @@ type Neighbor struct {
 	Time int64
 }
 
-// accum tracks the in-progress similarity for one candidate session in the
-// temporary hashmap r of Algorithm 2.
-type accum struct {
-	score  float64
-	maxPos int32
-}
-
 type btEntry struct {
 	id   sessions.SessionID
 	time int64
 }
 
-// Recommender executes VMIS-kNN queries against an Index. A Recommender
-// reuses internal buffers across calls and is therefore NOT safe for
-// concurrent use; create one per goroutine with Clone (the index itself is
-// shared and immutable).
+// Recommender executes VMIS-kNN queries against an Index using the dense,
+// epoch-stamped scoring kernel (see kernel.go): candidate accumulation runs
+// in a fixed 2·M-slot probe table, item scoring in a flat array over the
+// dense item-id space, and every per-query temporary is reused, so a
+// steady-state query performs zero heap allocations. Per-Recommender memory
+// is O(M + numItems) — independent of the number of indexed sessions.
+//
+// A Recommender reuses internal buffers across calls and is therefore NOT
+// safe for concurrent use; create one per goroutine with Clone (the index
+// itself is shared and immutable). The map-based original it replaced is
+// retained as ReferenceRecommender for differential testing.
 type Recommender struct {
 	idx *Index
 	p   Params
 
-	r      map[sessions.SessionID]accum
-	dup    map[sessions.ItemID]struct{}
+	tab    *probeTable       // candidate accumulator r of Algorithm 2
+	seen   []sessions.ItemID // distinct evolving items (duplicate check)
 	bt     *dheap.Heap[btEntry]
-	topk   *dheap.Bounded[Neighbor]
-	scores map[sessions.ItemID]float64
-	outH   *dheap.Bounded[ScoredItem]
-	outCap int
+	nbrBuf []Neighbor
+	acc    *itemAccumulator
+	outBuf []ScoredItem
 }
 
-// NewRecommender validates the parameters and returns a query executor.
+// NewRecommender validates the parameters and returns a query executor. Its
+// kernel buffers are sized from the index (flat score array over the item-id
+// space) and the parameters (2·M-slot probe table), so construct it — or
+// Clone a prototype — per index generation.
 func NewRecommender(idx *Index, p Params) (*Recommender, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -59,14 +63,13 @@ func NewRecommender(idx *Index, p Params) (*Recommender, error) {
 	}
 	p = p.withDefaults()
 	r := &Recommender{
-		idx:    idx,
-		p:      p,
-		r:      make(map[sessions.SessionID]accum, p.M),
-		dup:    make(map[sessions.ItemID]struct{}, p.MaxSessionLength),
-		scores: make(map[sessions.ItemID]float64, 256),
+		idx:  idx,
+		p:    p,
+		tab:  newProbeTable(p.M),
+		seen: make([]sessions.ItemID, 0, p.MaxSessionLength),
+		acc:  newItemAccumulator(idx.numItems),
 	}
 	r.bt = dheap.NewWithCapacity(p.HeapArity, p.M, func(a, b btEntry) bool { return a.time < b.time })
-	r.topk = dheap.NewBounded(p.HeapArity, p.K, neighborLess)
 	return r, nil
 }
 
@@ -82,7 +85,9 @@ func neighborLess(a, b Neighbor) bool {
 }
 
 // Clone returns an independent Recommender sharing the same immutable index,
-// for use from another goroutine.
+// for use from another goroutine. The clone gets fresh kernel buffers sized
+// from the index, which is what the serving layer's per-generation pool
+// relies on.
 func (r *Recommender) Clone() *Recommender {
 	c, err := NewRecommender(r.idx, r.p)
 	if err != nil {
@@ -98,6 +103,22 @@ func (r *Recommender) Params() Params { return r.p }
 // Index returns the underlying index.
 func (r *Recommender) Index() *Index { return r.idx }
 
+// MemoryFootprint estimates the recommender's per-goroutine kernel buffer
+// size in bytes — the Index.MemoryFootprint counterpart for query state. It
+// is O(M + numItems) by construction: the probe table and heaps scale with
+// M/K, the flat score array with the item vocabulary, and nothing scales
+// with the number of indexed sessions.
+func (r *Recommender) MemoryFootprint() int64 {
+	var b int64
+	b += r.tab.footprint()
+	b += r.acc.footprint()
+	b += int64(cap(r.seen)) * 4
+	b += int64(r.p.M) * 16         // bt heap storage: btEntry{id,time}
+	b += int64(cap(r.nbrBuf)) * 32 // neighbour collect/result buffer (≤ M)
+	b += int64(cap(r.outBuf)) * 16 // output collect/result buffer: ScoredItem
+	return b
+}
+
 // truncate returns the most recent MaxSessionLength items of the evolving
 // session.
 func (r *Recommender) truncate(evolving []sessions.ItemID) []sessions.ItemID {
@@ -105,6 +126,19 @@ func (r *Recommender) truncate(evolving []sessions.ItemID) []sessions.ItemID {
 		return evolving[len(evolving)-r.p.MaxSessionLength:]
 	}
 	return evolving
+}
+
+// seenBefore reports whether item already occurred (at a more recent
+// position) in this query's intersection loop. A linear scan over at most
+// MaxSessionLength entries beats any hashed structure at this size and
+// allocates nothing.
+func (r *Recommender) seenBefore(item sessions.ItemID) bool {
+	for _, s := range r.seen {
+		if s == item {
+			return true
+		}
+	}
+	return false
 }
 
 // NeighborSessions computes the k most similar historical sessions for the
@@ -115,10 +149,9 @@ func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
 	s := r.truncate(evolving)
 	length := len(s)
 
-	clear(r.r)
-	clear(r.dup)
+	r.tab.reset()
+	r.seen = r.seen[:0]
 	r.bt.Reset()
-	r.topk.Reset()
 
 	// Item intersection loop: visit evolving-session items most recent
 	// first so that the first candidate hit by a session records the most
@@ -126,10 +159,10 @@ func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
 	// most recent position.
 	for pos := length; pos >= 1; pos-- {
 		item := s[pos-1]
-		if _, dup := r.dup[item]; dup {
+		if r.seenBefore(item) {
 			continue
 		}
-		r.dup[item] = struct{}{}
+		r.seen = append(r.seen, item)
 		postings := r.idx.Postings(item)
 		if len(postings) == 0 {
 			continue
@@ -137,23 +170,23 @@ func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
 		pi := r.p.Decay(pos, length)
 
 		for _, j := range postings {
-			if acc, ok := r.r[j]; ok {
-				acc.score += pi
-				r.r[j] = acc
+			if sl := r.tab.find(j); sl != nil {
+				sl.score += pi
 				continue
 			}
 			tj := r.idx.times[j]
-			if len(r.r) < r.p.M {
-				r.r[j] = accum{score: pi, maxPos: int32(pos)}
+			if r.tab.len() < r.p.M {
+				r.tab.insert(j, pi, int32(pos))
 				r.bt.Push(btEntry{id: j, time: tj})
 				continue
 			}
 			oldest, _ := r.bt.Peek()
 			if tj > oldest.time {
 				// Evict the oldest candidate in favour of the more
-				// recent session j.
-				delete(r.r, oldest.id)
-				r.r[j] = accum{score: pi, maxPos: int32(pos)}
+				// recent session j. An evicted session can never
+				// re-enter: the recency heap's minimum only grows.
+				r.tab.delete(oldest.id)
+				r.tab.insert(j, pi, int32(pos))
 				r.bt.ReplaceRoot(btEntry{id: j, time: tj})
 				continue
 			}
@@ -166,16 +199,39 @@ func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
 		}
 	}
 
-	// Top-k similarity loop over the temporary similarity map r.
-	for j, acc := range r.r {
-		r.topk.Offer(Neighbor{
-			ID:     j,
-			Score:  acc.score,
-			MaxPos: int(acc.maxPos),
-			Time:   r.idx.times[j],
+	// Top-k similarity loop: one cache-friendly sweep over the probe
+	// table's 2·M slots stands in for iterating the temporary map r, then
+	// quickselect keeps the k best and a final sort orders them — the same
+	// total order the reference path's bounded heap produces, at a fraction
+	// of the comparisons (see selectTopNeighbors).
+	ns := r.nbrBuf[:0]
+	for i := range r.tab.slots {
+		sl := &r.tab.slots[i]
+		if sl.stamp != r.tab.epoch {
+			continue
+		}
+		ns = append(ns, Neighbor{
+			ID:     sl.key,
+			Score:  sl.score,
+			MaxPos: int(sl.maxPos),
+			Time:   r.idx.times[sl.key],
 		})
 	}
-	return r.topk.DrainDescending()
+	r.nbrBuf = ns // retain grown storage for the next query
+	if len(ns) > r.p.K {
+		selectTopNeighbors(ns, r.p.K)
+		ns = ns[:r.p.K]
+	}
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		if neighborBetter(a, b) {
+			return -1
+		}
+		if neighborBetter(b, a) {
+			return 1
+		}
+		return 0
+	})
+	return ns
 }
 
 // Recommend computes the top-n next-item recommendations for the evolving
@@ -192,33 +248,50 @@ func (r *Recommender) Recommend(evolving []sessions.ItemID, n int) []ScoredItem 
 	}
 
 	// Item scoring (Algorithm 2 line 6-7, with the §3 simplifications):
-	// d_i = Σ_n 1_n(i) · λ(maxPos_n) · r_n · log(|H|/h_i).
-	clear(r.scores)
+	// d_i = Σ_n 1_n(i) · λ(maxPos_n) · r_n · log(|H|/h_i), accumulated in
+	// the flat array. Zero contributions (idf 0) are skipped — they cannot
+	// change a score, and the accumulator needs first touches to be
+	// strictly positive.
 	for _, nb := range neighbors {
 		w := r.p.MatchWeight(nb.MaxPos) * nb.Score
 		if w == 0 {
 			continue
 		}
 		for _, item := range r.idx.SessionItems(nb.ID) {
-			r.scores[item] += w * r.idx.idf[item]
+			if v := w * r.idx.idf[item]; v != 0 {
+				r.acc.add(item, v)
+			}
 		}
 	}
 
-	if r.outH == nil || r.outCap != n {
-		r.outH = dheap.NewBounded(r.p.HeapArity, n, scoredItemLess)
-		r.outCap = n
-	} else {
-		r.outH.Reset()
-	}
-	for item, score := range r.scores {
-		if score > 0 {
-			r.outH.Offer(ScoredItem{Item: item, Score: score})
+	// Output stage: collect the touched positive scores into the reused
+	// buffer, quickselect the n best, and sort them. The buffer is shared
+	// across calls regardless of n, so callers alternating output lengths
+	// (e.g. A/B arms sharing a pool) never reallocate output state.
+	out := r.outBuf[:0]
+	for _, item := range r.acc.touched {
+		if score := r.acc.scores[item]; score > 0 {
+			out = append(out, ScoredItem{Item: item, Score: score})
 		}
 	}
-	out := r.outH.DrainDescending()
+	r.acc.resetSparse()
+	r.outBuf = out // retain grown storage for the next query
 	if len(out) == 0 {
 		return nil
 	}
+	if len(out) > n {
+		selectTopScoredItems(out, n)
+		out = out[:n]
+	}
+	slices.SortFunc(out, func(a, b ScoredItem) int {
+		if scoredItemBetter(a, b) {
+			return -1
+		}
+		if scoredItemBetter(b, a) {
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 

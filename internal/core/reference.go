@@ -1,0 +1,164 @@
+package core
+
+import (
+	"serenade/internal/dheap"
+	"serenade/internal/sessions"
+)
+
+// ReferenceRecommender is the original map-based implementation of the
+// VMIS-kNN query path, retained verbatim as the differential-testing and
+// benchmarking reference for the dense kernel in Recommender: the property
+// tests prove both produce identical ranked output (including tie-breaks),
+// and the microbenchmarks quantify the kernel's win over it. It is exported
+// for tests and harnesses only — production paths should use Recommender.
+//
+// Like Recommender it reuses buffers across calls and is not safe for
+// concurrent use.
+type ReferenceRecommender struct {
+	idx *Index
+	p   Params
+
+	r      map[sessions.SessionID]refAccum
+	dup    map[sessions.ItemID]struct{}
+	bt     *dheap.Heap[btEntry]
+	topk   *dheap.Bounded[Neighbor]
+	scores map[sessions.ItemID]float64
+	outH   *dheap.Bounded[ScoredItem]
+	outCap int
+}
+
+// refAccum tracks the in-progress similarity for one candidate session in
+// the temporary hashmap r of Algorithm 2.
+type refAccum struct {
+	score  float64
+	maxPos int32
+}
+
+// NewReferenceRecommender validates the parameters and returns the map-based
+// reference query executor.
+func NewReferenceRecommender(idx *Index, p Params) (*ReferenceRecommender, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if idx.capacity > 0 && p.M > idx.capacity {
+		return nil, errMExceedsCapacity(p.M, idx.capacity)
+	}
+	p = p.withDefaults()
+	r := &ReferenceRecommender{
+		idx:    idx,
+		p:      p,
+		r:      make(map[sessions.SessionID]refAccum, p.M),
+		dup:    make(map[sessions.ItemID]struct{}, p.MaxSessionLength),
+		scores: make(map[sessions.ItemID]float64, 256),
+	}
+	r.bt = dheap.NewWithCapacity(p.HeapArity, p.M, func(a, b btEntry) bool { return a.time < b.time })
+	r.topk = dheap.NewBounded(p.HeapArity, p.K, neighborLess)
+	return r, nil
+}
+
+// NeighborSessions computes the k most similar historical sessions using
+// per-query hashmaps — semantics identical to Recommender.NeighborSessions.
+func (r *ReferenceRecommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
+	s := evolving
+	if len(s) > r.p.MaxSessionLength {
+		s = s[len(s)-r.p.MaxSessionLength:]
+	}
+	length := len(s)
+
+	clear(r.r)
+	clear(r.dup)
+	r.bt.Reset()
+	r.topk.Reset()
+
+	for pos := length; pos >= 1; pos-- {
+		item := s[pos-1]
+		if _, dup := r.dup[item]; dup {
+			continue
+		}
+		r.dup[item] = struct{}{}
+		postings := r.idx.Postings(item)
+		if len(postings) == 0 {
+			continue
+		}
+		pi := r.p.Decay(pos, length)
+
+		for _, j := range postings {
+			if acc, ok := r.r[j]; ok {
+				acc.score += pi
+				r.r[j] = acc
+				continue
+			}
+			tj := r.idx.times[j]
+			if len(r.r) < r.p.M {
+				r.r[j] = refAccum{score: pi, maxPos: int32(pos)}
+				r.bt.Push(btEntry{id: j, time: tj})
+				continue
+			}
+			oldest, _ := r.bt.Peek()
+			if tj > oldest.time {
+				delete(r.r, oldest.id)
+				r.r[j] = refAccum{score: pi, maxPos: int32(pos)}
+				r.bt.ReplaceRoot(btEntry{id: j, time: tj})
+				continue
+			}
+			if !r.p.DisableEarlyStopping {
+				break
+			}
+		}
+	}
+
+	for j, acc := range r.r {
+		r.topk.Offer(Neighbor{
+			ID:     j,
+			Score:  acc.score,
+			MaxPos: int(acc.maxPos),
+			Time:   r.idx.times[j],
+		})
+	}
+	return r.topk.DrainDescending()
+}
+
+// Recommend computes the top-n next-item recommendations using a hashmap
+// score accumulator — semantics identical to Recommender.Recommend.
+func (r *ReferenceRecommender) Recommend(evolving []sessions.ItemID, n int) []ScoredItem {
+	if n <= 0 || len(evolving) == 0 {
+		return nil
+	}
+	neighbors := r.NeighborSessions(evolving)
+	if len(neighbors) == 0 {
+		return nil
+	}
+
+	clear(r.scores)
+	for _, nb := range neighbors {
+		w := r.p.MatchWeight(nb.MaxPos) * nb.Score
+		if w == 0 {
+			continue
+		}
+		for _, item := range r.idx.SessionItems(nb.ID) {
+			r.scores[item] += w * r.idx.idf[item]
+		}
+	}
+
+	if r.outH == nil {
+		r.outH = dheap.NewBounded(r.p.HeapArity, n, scoredItemLess)
+		r.outCap = n
+	} else if r.outCap != n {
+		// Callers alternating n must not thrash the heap: reuse its
+		// storage, growing only when the new bound exceeds it.
+		r.outH.ResetWithCap(n)
+		r.outCap = n
+	} else {
+		r.outH.Reset()
+	}
+	for item, score := range r.scores {
+		if score > 0 {
+			r.outH.Offer(ScoredItem{Item: item, Score: score})
+		}
+	}
+	out := r.outH.DrainDescending()
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

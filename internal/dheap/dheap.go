@@ -204,6 +204,29 @@ func (b *Bounded[E]) Pop() (E, bool) { return b.h.Pop() }
 // Reset removes all elements but keeps allocated storage.
 func (b *Bounded[E]) Reset() { b.h.Reset() }
 
+// ResetWithCap empties the heap and changes its retention capacity, growing
+// the underlying storage only when the new capacity exceeds what is already
+// allocated. Callers whose bound varies between uses (e.g. a recommendation
+// list length chosen per request) reuse one heap instead of discarding it
+// whenever the bound changes. It panics if cap < 1.
+func (b *Bounded[E]) ResetWithCap(cap int) {
+	if cap < 1 {
+		panic("dheap: bounded heap capacity must be at least 1")
+	}
+	b.h.Reset()
+	b.h.items = growSlice(b.h.items, cap)
+	b.cap = cap
+}
+
+// growSlice returns s (length 0) with capacity at least n, reallocating only
+// when needed.
+func growSlice[E any](s []E, n int) []E {
+	if cap(s) >= n {
+		return s[:0]
+	}
+	return make([]E, 0, n)
+}
+
 // Items returns the retained elements in heap layout (not sorted).
 func (b *Bounded[E]) Items() []E { return b.h.Items() }
 
@@ -215,4 +238,22 @@ func (b *Bounded[E]) DrainDescending() []E {
 		out[i], out[j] = out[j], out[i]
 	}
 	return out
+}
+
+// AppendDescending drains the heap like DrainDescending but appends the
+// elements to dst instead of allocating a fresh slice, so steady-state
+// callers that reuse a buffer across queries perform no heap allocation.
+func (b *Bounded[E]) AppendDescending(dst []E) []E {
+	start := len(dst)
+	for {
+		e, ok := b.h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, e)
+	}
+	for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
 }

@@ -285,3 +285,95 @@ func benchPushPop(b *testing.B, d int) {
 		}
 	}
 }
+
+func TestBoundedResetWithCap(t *testing.T) {
+	b := NewBounded(4, 3, func(a, b int) bool { return a < b })
+	for i := 0; i < 10; i++ {
+		b.Offer(i)
+	}
+	if b.Len() != 3 || b.Cap() != 3 {
+		t.Fatalf("len/cap = %d/%d, want 3/3", b.Len(), b.Cap())
+	}
+	// Grow: previous contents dropped, new bound honoured.
+	b.ResetWithCap(5)
+	if b.Len() != 0 || b.Cap() != 5 {
+		t.Fatalf("after grow: len/cap = %d/%d, want 0/5", b.Len(), b.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		b.Offer(i)
+	}
+	if got := b.DrainDescending(); len(got) != 5 || got[0] != 9 || got[4] != 5 {
+		t.Errorf("after grow: drained %v, want [9 8 7 6 5]", got)
+	}
+	// Shrink: storage reused, bound honoured.
+	b.ResetWithCap(2)
+	if b.Cap() != 2 {
+		t.Fatalf("after shrink: cap = %d, want 2", b.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		b.Offer(i)
+	}
+	if got := b.DrainDescending(); len(got) != 2 || got[0] != 9 || got[1] != 8 {
+		t.Errorf("after shrink: drained %v, want [9 8]", got)
+	}
+	// Shrinking and re-growing within previously allocated storage must
+	// not allocate.
+	b.ResetWithCap(5)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.ResetWithCap(2)
+		b.Offer(1)
+		b.ResetWithCap(5)
+		b.Offer(1)
+		b.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("ResetWithCap within existing storage allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestBoundedResetWithCapPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ResetWithCap(0) did not panic")
+		}
+	}()
+	NewBounded(2, 1, func(a, b int) bool { return a < b }).ResetWithCap(0)
+}
+
+func TestBoundedAppendDescending(t *testing.T) {
+	b := NewBounded(3, 4, func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 1, 9, 7, 3, 8} {
+		b.Offer(v)
+	}
+	buf := make([]int, 0, 8)
+	got := b.AppendDescending(buf)
+	want := []int{9, 8, 7, 5}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("heap not empty after drain: %d", b.Len())
+	}
+	// Reusing the returned buffer must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, v := range []int{5, 1, 9, 7, 3, 8} {
+			b.Offer(v)
+		}
+		got = b.AppendDescending(got[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendDescending with a reused buffer allocates %.1f times, want 0", allocs)
+	}
+	// Appending after existing elements preserves the prefix.
+	b.Offer(2)
+	b.Offer(6)
+	out := b.AppendDescending([]int{42})
+	if len(out) != 3 || out[0] != 42 || out[1] != 6 || out[2] != 2 {
+		t.Errorf("append after prefix = %v, want [42 6 2]", out)
+	}
+}

@@ -196,8 +196,13 @@ func (r *Recommender) Recommend(evolving []sessions.ItemID, n int) []core.Scored
 			r.scores[item] += w * r.x.idf(item)
 		}
 	}
-	if r.outH == nil || r.outCap != n {
+	if r.outH == nil {
 		r.outH = dheap.NewBounded(r.p.HeapArity, n, scoredItemLess)
+		r.outCap = n
+	} else if r.outCap != n {
+		// Callers alternating n must not thrash the heap: reuse its
+		// storage, growing only when the new bound exceeds it.
+		r.outH.ResetWithCap(n)
 		r.outCap = n
 	} else {
 		r.outH.Reset()

@@ -357,20 +357,32 @@ type Stats struct {
 	IndexSessions  int           `json:"index_sessions"`
 	IndexItems     int           `json:"index_items"`
 	IndexSwaps     uint64        `json:"index_swaps"`
+	// IndexBytes is the estimated footprint of the shared immutable index;
+	// RecommenderBytes is the per-goroutine footprint of one pooled query
+	// kernel (probe table, flat score array, heaps — O(M + numItems)).
+	// Capacity planning: total ≈ IndexBytes + pooled recommenders ×
+	// RecommenderBytes per pod.
+	IndexBytes       int64 `json:"index_bytes"`
+	RecommenderBytes int64 `json:"recommender_bytes"`
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
-	idx := s.Index()
+	gen := s.active.Load()
+	rec := gen.pool.Get().(*core.Recommender)
+	recBytes := rec.MemoryFootprint()
+	gen.pool.Put(rec)
 	return Stats{
-		Requests:       s.requests.Count(),
-		MeanLatency:    s.requests.Mean(),
-		P90Latency:     s.requests.Percentile(90),
-		P995Latency:    s.requests.Percentile(99.5),
-		ActiveSessions: s.store.Len(),
-		IndexSessions:  idx.NumSessions(),
-		IndexItems:     idx.NumItems(),
-		IndexSwaps:     s.swaps.Load(),
+		Requests:         s.requests.Count(),
+		MeanLatency:      s.requests.Mean(),
+		P90Latency:       s.requests.Percentile(90),
+		P995Latency:      s.requests.Percentile(99.5),
+		ActiveSessions:   s.store.Len(),
+		IndexSessions:    gen.idx.NumSessions(),
+		IndexItems:       gen.idx.NumItems(),
+		IndexSwaps:       s.swaps.Load(),
+		IndexBytes:       gen.idx.MemoryFootprint(),
+		RecommenderBytes: recBytes,
 	}
 }
 

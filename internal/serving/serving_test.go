@@ -698,3 +698,27 @@ func BenchmarkServerRecommend(b *testing.B) {
 		}
 	})
 }
+
+// TestStatsMemoryAccounting: the /metrics payload reports both the shared
+// index footprint and the per-goroutine kernel footprint, and the kernel
+// footprint tracks the active generation across an index swap.
+func TestStatsMemoryAccounting(t *testing.T) {
+	s := testServer(t, Config{})
+	st := s.Stats()
+	if st.IndexBytes <= 0 {
+		t.Errorf("IndexBytes = %d, want > 0", st.IndexBytes)
+	}
+	if st.RecommenderBytes <= 0 {
+		t.Errorf("RecommenderBytes = %d, want > 0", st.RecommenderBytes)
+	}
+	if st.IndexBytes != s.Index().MemoryFootprint() {
+		t.Errorf("IndexBytes = %d, want index footprint %d", st.IndexBytes, s.Index().MemoryFootprint())
+	}
+	// A request must not disturb the accounting (pooled kernel round-trip).
+	if _, err := s.Recommend(Request{SessionKey: "u", Item: 1, Consent: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().RecommenderBytes; got < st.RecommenderBytes {
+		t.Errorf("RecommenderBytes shrank after a request: %d -> %d", st.RecommenderBytes, got)
+	}
+}

@@ -27,8 +27,12 @@ type Baseline struct {
 	itemSessions map[sessions.ItemID][]sessions.SessionID // ascending id (= ascending time)
 	times        []int64
 	sessionItems [][]sessions.ItemID
-	idf          map[sessions.ItemID]float64
-	numSessions  int
+	// idf is flat over the dense item-id space: the scoring phase shares
+	// core's flat-accumulator idiom so that the Fig. 3a ablation compares
+	// the two-phase *algorithm* against VMIS-kNN, not hashmap overhead.
+	idf         []float64
+	numItems    int
+	numSessions int
 }
 
 // New builds the baseline store from a dataset with dense, time-ascending
@@ -38,7 +42,8 @@ func New(ds *sessions.Dataset) *Baseline {
 		itemSessions: make(map[sessions.ItemID][]sessions.SessionID),
 		times:        make([]int64, len(ds.Sessions)),
 		sessionItems: make([][]sessions.ItemID, len(ds.Sessions)),
-		idf:          make(map[sessions.ItemID]float64),
+		idf:          make([]float64, ds.NumItems),
+		numItems:     ds.NumItems,
 		numSessions:  len(ds.Sessions),
 	}
 	for i := range ds.Sessions {
@@ -57,7 +62,9 @@ func New(ds *sessions.Dataset) *Baseline {
 		b.sessionItems[i] = unique
 	}
 	for it, list := range b.itemSessions {
-		b.idf[it] = idf(b.numSessions, len(list))
+		if int(it) < len(b.idf) {
+			b.idf[it] = idf(b.numSessions, len(list))
+		}
 	}
 	return b
 }
@@ -159,19 +166,34 @@ func (b *Baseline) Recommend(evolving []sessions.ItemID, n int, p core.Params) [
 	}
 	p = normalize(p)
 	neighbors := b.NeighborSessions(evolving, p)
-	scores := make(map[sessions.ItemID]float64)
+	// Flat accumulator over the dense item-id space with a touched-list
+	// (same idiom as internal/core's kernel). Allocated per call to keep
+	// the Baseline safe for concurrent use; the per-element cost is a plain
+	// array write instead of a hashmap probe.
+	scores := make([]float64, b.numItems)
+	touched := make([]sessions.ItemID, 0, 256)
 	for _, nb := range neighbors {
 		w := p.MatchWeight(nb.MaxPos) * nb.Score
 		if w == 0 {
 			continue
 		}
 		for _, item := range b.sessionItems[nb.ID] {
-			scores[item] += w * b.idf[item]
+			v := w * b.idf[item]
+			if v == 0 {
+				continue
+			}
+			if scores[item] == 0 {
+				touched = append(touched, item)
+			}
+			scores[item] += v
 		}
 	}
-	var out []core.ScoredItem
-	for item, score := range scores {
-		if score > 0 {
+	if len(touched) == 0 {
+		return nil
+	}
+	out := make([]core.ScoredItem, 0, len(touched))
+	for _, item := range touched {
+		if score := scores[item]; score > 0 {
 			out = append(out, core.ScoredItem{Item: item, Score: score})
 		}
 	}
