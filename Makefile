@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/serving
+	$(GO) test -race ./internal/core ./internal/serving ./internal/obs ./internal/metrics ./internal/cluster
 
 # All microbenchmarks, quick.
 bench:

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"serenade"
+	"serenade/internal/obs"
 )
 
 func main() {
@@ -32,14 +33,13 @@ func main() {
 		log.Fatal("-data is required")
 	}
 
-	start := time.Now()
+	phases := obs.StartPhases()
 	ds, err := serenade.LoadCSV(*data)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("loaded %s in %v\n", serenade.Stats(ds), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("loaded %s in %v\n", serenade.Stats(ds), phases.Mark("load").Round(time.Millisecond))
 
-	start = time.Now()
 	idx, err := serenade.BuildIndexParallel(ds, *capacity, *workers)
 	if err != nil {
 		log.Fatal(err)
@@ -47,11 +47,11 @@ func main() {
 	fmt.Printf("built index: %d sessions, %d items, ~%.1f MB in memory, in %v\n",
 		idx.NumSessions(), idx.NumItems(),
 		float64(idx.MemoryFootprint())/(1<<20),
-		time.Since(start).Round(time.Millisecond))
+		phases.Mark("build").Round(time.Millisecond))
 
-	start = time.Now()
 	if err := serenade.SaveIndex(*out, idx); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s in %v\n", *out, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s in %v\n", *out, phases.Mark("save").Round(time.Millisecond))
+	fmt.Printf("phases: %s\n", phases)
 }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the debug mux (flag-gated)
 	"os"
@@ -41,11 +42,23 @@ func main() {
 		fallback  = flag.Bool("fallback-popular", true, "pad short lists with popular items")
 		trendHL   = flag.Duration("trending-half-life", 2*time.Hour, "trending tracker half-life (0 disables /v1/trending)")
 		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
+		slowQuery = flag.Duration("slow-query", 25*time.Millisecond, "log requests slower than this (0 disables the slow-query log)")
+		traceRing = flag.Int("trace-ring", 256, "traces retained for /debug/traces (<0 disables tracing sample retention)")
+		traceEach = flag.Int("trace-sample", 16, "sample 1 in N requests into the trace ring (slow requests always kept)")
+		logJSON   = flag.Bool("log-json", false, "structured logs as JSON instead of text")
 	)
 	flag.Parse()
 	if *indexPath == "" {
 		log.Fatal("-index is required")
 	}
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	start := time.Now()
 	idx, err := serenade.LoadIndex(*indexPath)
@@ -60,14 +73,18 @@ func main() {
 		tracker = serenade.NewTrendingTracker(*trendHL)
 	}
 	srv, err := serenade.NewServer(idx, serenade.ServerConfig{
-		Params:            serenade.Params{M: *m, K: *k},
-		Recommendations:   *slotSize,
-		HistoryLength:     *history,
-		SessionTTL:        *ttl,
-		StoreDir:          *storeDir,
-		Catalog:           serenade.NewCatalog(),
-		FallbackToPopular: *fallback,
-		Trending:          tracker,
+		Params:             serenade.Params{M: *m, K: *k},
+		Recommendations:    *slotSize,
+		HistoryLength:      *history,
+		SessionTTL:         *ttl,
+		StoreDir:           *storeDir,
+		Catalog:            serenade.NewCatalog(),
+		FallbackToPopular:  *fallback,
+		Trending:           tracker,
+		SlowQueryThreshold: *slowQuery,
+		TraceRingSize:      *traceRing,
+		TraceSampleEvery:   *traceEach,
+		Logger:             logger,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -115,20 +132,41 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections and
+	// drain in-flight requests (bounded at 10s). ListenAndServe returns as
+	// soon as Shutdown is CALLED, so main must wait on `drained` — which
+	// closes only when Shutdown RETURNS — before reporting final state.
+	drained := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		log.Print("shutting down")
+		s := <-sig
+		logger.Info("shutting down", "signal", s.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("drain incomplete", "err", err)
+		}
+		close(drained)
 	}()
 
 	fmt.Printf("serving on %s\n", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	<-drained
+	srv.FlushSlowLog()
+
 	st := srv.Stats()
-	log.Printf("served %d requests, p90 %v", st.Requests, st.P90Latency)
+	attrs := []any{
+		"requests", st.Requests,
+		"errors", st.Errors,
+		"mean", st.MeanLatency,
+		"p90", st.P90Latency,
+		"p995", st.P995Latency,
+	}
+	for _, sg := range st.Stages {
+		attrs = append(attrs, "stage_"+sg.Stage+"_p90", sg.P90Latency)
+	}
+	logger.Info("final stats", attrs...)
 }

@@ -91,6 +91,18 @@ func (p *Pool) Replica(name string) (*serving.Server, bool) {
 // Replicas returns the replica names currently in the ring.
 func (p *Pool) Replicas() []string { return p.ring.Nodes() }
 
+// Stats snapshots every replica's serving counters, keyed by replica name —
+// the per-pod view a load test or operator dashboard aggregates.
+func (p *Pool) Stats() map[string]serving.Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]serving.Stats, len(p.replicas))
+	for name, srv := range p.replicas {
+		out[name] = srv.Stats()
+	}
+	return out
+}
+
 // Recommend routes the request to the session's sticky replica and serves
 // it there.
 func (p *Pool) Recommend(req serving.Request) (serving.Response, error) {

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
 	"sync"
+
+	"serenade/internal/obs"
 )
 
 // Proxy is an HTTP reverse proxy with sticky-session routing: every request
@@ -17,34 +20,77 @@ import (
 // absent, the X-Session-Id header (for POST bodies the proxy must not
 // consume). Requests without a key are rejected, since affinity is the
 // correctness contract of the stateful servers.
+//
+// The proxy participates in distributed tracing: it stamps a Traceparent
+// header onto requests that arrive without one (and leaves propagated ones
+// untouched), so the backend's span records the hop as its parent. It keeps
+// per-backend request/error/retry counters in its own metrics registry,
+// scrapeable at GET /proxy/metrics.prom, and retries idempotent requests
+// once on a transport failure before answering 502.
 type Proxy struct {
 	mu       sync.RWMutex
 	ring     *Ring
-	backends map[string]*httputil.ReverseProxy
+	backends map[string]*backend
+	reg      *obs.Registry
 }
+
+// backend is one upstream with its forwarding proxy and traffic counters.
+type backend struct {
+	rp       *httputil.ReverseProxy
+	requests *obs.Counter
+	errors   *obs.Counter
+	retries  *obs.Counter
+}
+
+// proxyErrKey carries the transport-error slot through the reverse proxy so
+// the ErrorHandler can report a failure without writing the response,
+// leaving the retry decision to ServeHTTP.
+type proxyErrKey struct{}
+
+type proxyErr struct{ err error }
 
 // NewProxy returns a proxy with no backends.
 func NewProxy() *Proxy {
 	return &Proxy{
 		ring:     NewRing(0),
-		backends: make(map[string]*httputil.ReverseProxy),
+		backends: make(map[string]*backend),
+		reg:      obs.NewRegistry(),
 	}
 }
 
+// Registry exposes the proxy's metrics registry (per-backend counters).
+func (p *Proxy) Registry() *obs.Registry { return p.reg }
+
 // AddBackend registers a named backend serving at target. Adding an
-// existing name replaces its target.
+// existing name replaces its target; the counters survive the swap so a
+// redeployed backend keeps its series.
 func (p *Proxy) AddBackend(name string, target *url.URL) {
 	rp := httputil.NewSingleHostReverseProxy(target)
+	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		if slot, ok := r.Context().Value(proxyErrKey{}).(*proxyErr); ok {
+			slot.err = err
+			return
+		}
+		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, exists := p.backends[name]; !exists {
-		p.ring.Add(name)
+	if b, exists := p.backends[name]; exists {
+		b.rp = rp
+		return
 	}
-	p.backends[name] = rp
+	p.ring.Add(name)
+	p.backends[name] = &backend{
+		rp:       rp,
+		requests: p.reg.Counter("serenade_proxy_backend_requests_total", "Requests forwarded per backend.", "backend", name),
+		errors:   p.reg.Counter("serenade_proxy_backend_errors_total", "Forwarding failures per backend (after retries).", "backend", name),
+		retries:  p.reg.Counter("serenade_proxy_backend_retries_total", "Idempotent retries per backend.", "backend", name),
+	}
 }
 
 // RemoveBackend deregisters a backend; its sessions remap to the remaining
 // ones (losing their server-side state, the accepted trade-off of §4.2).
+// Its counter series stay in the registry as a record of past traffic.
 func (p *Proxy) RemoveBackend(name string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -63,8 +109,23 @@ func SessionKey(r *http.Request) string {
 	return r.Header.Get("X-Session-Id")
 }
 
+// retryable reports whether a failed forward may be replayed: the method
+// must be idempotent and the body must not have been consumed.
+func retryable(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return r.Body == nil || r.Body == http.NoBody
+	}
+	return false
+}
+
 // ServeHTTP implements http.Handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && r.URL.Path == "/proxy/metrics.prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p.reg.WritePrometheus(w)
+		return
+	}
 	key := SessionKey(r)
 	if key == "" {
 		http.Error(w, "session_id query parameter or X-Session-Id header required", http.StatusBadRequest)
@@ -72,14 +133,36 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	p.mu.RLock()
 	name, ok := p.ring.Node(key)
-	var backend *httputil.ReverseProxy
+	var b *backend
 	if ok {
-		backend = p.backends[name]
+		b = p.backends[name]
 	}
 	p.mu.RUnlock()
-	if backend == nil {
+	if b == nil {
 		http.Error(w, "no backends available", http.StatusServiceUnavailable)
 		return
 	}
-	backend.ServeHTTP(w, r)
+
+	// Stamp (or continue) the trace before forwarding so the backend span
+	// links to this hop, and surface the id to the caller even on failure.
+	traceID := obs.PropagateTrace(r.Header)
+	w.Header().Set(obs.RequestIDHeader, traceID)
+
+	slot := &proxyErr{}
+	req := r.WithContext(context.WithValue(r.Context(), proxyErrKey{}, slot))
+	b.requests.Inc()
+	b.rp.ServeHTTP(w, req)
+	if slot.err == nil {
+		return
+	}
+	if retryable(r) {
+		b.retries.Inc()
+		slot.err = nil
+		b.rp.ServeHTTP(w, req)
+		if slot.err == nil {
+			return
+		}
+	}
+	b.errors.Inc()
+	http.Error(w, "upstream error: "+slot.err.Error(), http.StatusBadGateway)
 }

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/obs"
+	"serenade/internal/serving"
+	"serenade/internal/synth"
+)
+
+// startTracedBackend runs one serving instance with every request sampled,
+// behind the proxy, and returns both.
+func startTracedBackend(t *testing.T) (*Proxy, *serving.Server) {
+	t.Helper()
+	ds, err := synth.Generate(synth.Small(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serving.NewServer(idx, serving.Config{
+		Params:           core.Params{M: 100, K: 50},
+		TraceSampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
+	u, _ := url.Parse(ts.URL)
+	proxy := NewProxy()
+	proxy.AddBackend("pod-0", u)
+	return proxy, srv
+}
+
+// TestProxyTracePropagation checks the cross-process tracing contract: a
+// request entering at the proxy without a Traceparent gets one stamped, the
+// backend continues that trace (its sampled span carries the proxy's trace
+// id and a parent span id), and the caller sees the id in X-Request-Id.
+func TestProxyTracePropagation(t *testing.T) {
+	proxy, srv := startTracedBackend(t)
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/recommend?session_id=u1&item_id=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get(obs.RequestIDHeader)
+	if len(reqID) != 32 {
+		t.Fatalf("X-Request-Id = %q, want 32-hex trace id", reqID)
+	}
+
+	traces := srv.Tracer().Recent()
+	if len(traces) != 1 {
+		t.Fatalf("backend sampled %d traces, want 1", len(traces))
+	}
+	sp := traces[0]
+	if sp.TraceID != reqID {
+		t.Errorf("backend trace id %q != proxy trace id %q", sp.TraceID, reqID)
+	}
+	if sp.ParentID == "" {
+		t.Error("backend span has no parent: traceparent was not propagated")
+	}
+}
+
+// TestProxyBackendCounters drives traffic at a live backend and a dead one
+// and checks the per-backend requests/retries/errors series, both directly
+// and via the /proxy/metrics.prom scrape.
+func TestProxyBackendCounters(t *testing.T) {
+	proxy, _ := startTracedBackend(t)
+	// A backend nobody listens on: connection refused on every forward.
+	dead, _ := url.Parse("http://127.0.0.1:1")
+	proxy.AddBackend("pod-dead", dead)
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	// Find session keys that land on each backend.
+	liveKey, deadKey := "", ""
+	for i := 0; liveKey == "" || deadKey == ""; i++ {
+		key := "s" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		name, _ := proxy.ring.Node(key)
+		switch name {
+		case "pod-0":
+			if liveKey == "" {
+				liveKey = key
+			}
+		case "pod-dead":
+			if deadKey == "" {
+				deadKey = key
+			}
+		}
+	}
+
+	get := func(key string) int {
+		resp, err := http.Get(front.URL + "/v1/recommend?session_id=" + key + "&item_id=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(liveKey); code != http.StatusOK {
+		t.Fatalf("live backend status = %d", code)
+	}
+	if code := get(deadKey); code != http.StatusBadGateway {
+		t.Fatalf("dead backend status = %d, want 502", code)
+	}
+
+	resp, err := http.Get(front.URL + "/proxy/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	text := body.String()
+	for _, want := range []string{
+		`serenade_proxy_backend_requests_total{backend="pod-0"} 1`,
+		`serenade_proxy_backend_requests_total{backend="pod-dead"} 1`,
+		`serenade_proxy_backend_retries_total{backend="pod-dead"} 1`,
+		`serenade_proxy_backend_errors_total{backend="pod-dead"} 1`,
+		`serenade_proxy_backend_errors_total{backend="pod-0"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -242,8 +242,17 @@ func (r *Recommender) Recommend(evolving []sessions.ItemID, n int) []ScoredItem 
 	if n <= 0 || len(evolving) == 0 {
 		return nil
 	}
-	neighbors := r.NeighborSessions(evolving)
-	if len(neighbors) == 0 {
+	return r.ScoreNeighbors(r.NeighborSessions(evolving), n)
+}
+
+// ScoreNeighbors runs the scoring half of Recommend against an
+// already-selected neighbour set. It is split out so the serving layer can
+// attribute index lookup (NeighborSessions) and item scoring separately in
+// per-request traces; Recommend is exactly NeighborSessions followed by
+// ScoreNeighbors. The same validity rules apply: the result aliases reused
+// buffers and holds until the next call on this Recommender.
+func (r *Recommender) ScoreNeighbors(neighbors []Neighbor, n int) []ScoredItem {
+	if n <= 0 || len(neighbors) == 0 {
 		return nil
 	}
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"serenade/internal/cluster"
@@ -21,10 +22,24 @@ type LoadTestConfig struct {
 	Replicas int
 }
 
+// ReplicaStats is one replica's serving counters after a load test.
+type ReplicaStats struct {
+	Name string
+	serving.Stats
+}
+
+// LoadTestResult bundles the load generator's time series with the
+// per-replica serving breakdown (requests, errors, per-stage latency) the
+// paper's Grafana dashboards show per pod.
+type LoadTestResult struct {
+	*loadgen.Result
+	Replicas []ReplicaStats
+}
+
 // LoadTest reproduces §5.2.2 / Figure 3(b): replay historical traffic at a
 // target rate against a pool of stateful replicas behind sticky routing and
 // record per-second request counts, latency percentiles and core usage.
-func LoadTest(cfg LoadTestConfig, opts Options) (*loadgen.Result, error) {
+func LoadTest(cfg LoadTestConfig, opts Options) (*LoadTestResult, error) {
 	if cfg.RPS <= 0 {
 		cfg.RPS = 1000
 	}
@@ -58,17 +73,27 @@ func LoadTest(cfg LoadTestConfig, opts Options) (*loadgen.Result, error) {
 	if len(workload) == 0 {
 		return nil, fmt.Errorf("experiments: empty replay workload")
 	}
-	return loadgen.Run(loadgen.Config{
+	res, err := loadgen.Run(loadgen.Config{
 		TargetRPS: cfg.RPS,
 		Duration:  cfg.Duration,
 	}, func(i uint64) error {
 		_, err := pool.Recommend(workload[i%uint64(len(workload))])
 		return err
 	})
+	if err != nil {
+		return nil, err
+	}
+	out := &LoadTestResult{Result: res}
+	for name, st := range pool.Stats() {
+		out.Replicas = append(out.Replicas, ReplicaStats{Name: name, Stats: st})
+	}
+	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i].Name < out.Replicas[j].Name })
+	return out, nil
 }
 
-// PrintLoadTest renders the per-bucket series and the overall percentiles.
-func PrintLoadTest(w io.Writer, res *loadgen.Result) {
+// PrintLoadTest renders the per-bucket series, the overall percentiles, and
+// the per-replica stage breakdown.
+func PrintLoadTest(w io.Writer, res *LoadTestResult) {
 	fmt.Fprintln(w, "Figure 3(b): load test (requests/s, latency percentiles, core usage)")
 	header := []string{"t (s)", "req/s", "p75", "p90", "p99.5", "cores"}
 	var cells [][]string
@@ -85,6 +110,47 @@ func PrintLoadTest(w io.Writer, res *loadgen.Result) {
 	printTable(w, header, cells)
 	fmt.Fprintf(w, "overall: sent=%d errors=%d achieved=%.0f req/s  %s\n",
 		res.Sent, res.Errors, res.AchievedRPS, res.Total.Summary())
+
+	if len(res.Replicas) == 0 {
+		return
+	}
+	// Stage sets may differ between replicas (a stage with zero samples is
+	// omitted from Stats), so build the union of stage names for the header
+	// and index each replica's stages by name.
+	var stageNames []string
+	seen := map[string]bool{}
+	for _, rep := range res.Replicas {
+		for _, sg := range rep.Stages {
+			if !seen[sg.Stage] {
+				seen[sg.Stage] = true
+				stageNames = append(stageNames, sg.Stage)
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nper-replica stage breakdown (p90)")
+	rheader := append([]string{"replica", "requests", "errors", "p90"}, stageNames...)
+	var rcells [][]string
+	for _, rep := range res.Replicas {
+		byName := map[string]serving.StageStats{}
+		for _, sg := range rep.Stages {
+			byName[sg.Stage] = sg
+		}
+		row := []string{
+			rep.Name,
+			fmt.Sprintf("%d", rep.Requests),
+			fmt.Sprintf("%d", rep.Errors),
+			rep.P90Latency.Round(time.Microsecond).String(),
+		}
+		for _, name := range stageNames {
+			if sg, ok := byName[name]; ok {
+				row = append(row, sg.P90Latency.Round(time.Microsecond).String())
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rcells = append(rcells, row)
+	}
+	printTable(w, rheader, rcells)
 }
 
 // CoreScalingRow is one rate's core usage (§5.2.3 / §7 cost discussion).

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,9 +57,45 @@ type Store struct {
 	shards []*shard
 	seed   maphash.Seed
 
+	ops opCounters
+
 	walMu  sync.Mutex
 	wal    *os.File
 	closed bool
+}
+
+// opCounters tracks store operations for the serving metrics endpoint.
+type opCounters struct {
+	gets      atomic.Uint64
+	hits      atomic.Uint64
+	puts      atomic.Uint64
+	deletes   atomic.Uint64
+	evictions atomic.Uint64
+	walBytes  atomic.Uint64
+}
+
+// Metrics is a snapshot of the store's operation counters. Evictions count
+// entries dropped for TTL expiry, whether during Sweep or lazily on read —
+// the session-loss signal a Serenade operator watches next to request rate.
+type Metrics struct {
+	Gets      uint64
+	Hits      uint64
+	Puts      uint64
+	Deletes   uint64
+	Evictions uint64
+	WALBytes  uint64
+}
+
+// Metrics returns the operation counters accumulated since Open.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		Gets:      s.ops.gets.Load(),
+		Hits:      s.ops.hits.Load(),
+		Puts:      s.ops.puts.Load(),
+		Deletes:   s.ops.deletes.Load(),
+		Evictions: s.ops.evictions.Load(),
+		WALBytes:  s.ops.walBytes.Load(),
+	}
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -121,6 +158,7 @@ func (s *Store) Put(key string, value []byte) error {
 	if err := s.appendWAL(opPut, key, value, now); err != nil {
 		return err
 	}
+	s.ops.puts.Add(1)
 	sh := s.shardFor(key)
 	v := make([]byte, len(value))
 	copy(v, value)
@@ -135,6 +173,7 @@ func (s *Store) Put(key string, value []byte) error {
 // result reports whether the key was present and unexpired.
 func (s *Store) Get(key string) ([]byte, bool) {
 	now := s.opts.Now()
+	s.ops.gets.Add(1)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	e, ok := sh.m[key]
@@ -145,11 +184,13 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	if s.expired(e, now) {
 		delete(sh.m, key)
 		sh.mu.Unlock()
+		s.ops.evictions.Add(1)
 		return nil, false
 	}
 	e.lastAccess = now.UnixNano()
 	sh.m[key] = e
 	sh.mu.Unlock()
+	s.ops.hits.Add(1)
 	out := make([]byte, len(e.value))
 	copy(out, e.value)
 	return out, true
@@ -161,6 +202,7 @@ func (s *Store) Delete(key string) error {
 	if err := s.appendWAL(opDelete, key, nil, now); err != nil {
 		return err
 	}
+	s.ops.deletes.Add(1)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	delete(sh.m, key)
@@ -203,6 +245,7 @@ func (s *Store) Sweep() int {
 		}
 		sh.mu.Unlock()
 	}
+	s.ops.evictions.Add(uint64(removed))
 	return removed
 }
 
@@ -220,6 +263,7 @@ func (s *Store) appendWAL(op byte, key string, value []byte, now int64) error {
 	if err != nil {
 		return fmt.Errorf("kvstore: appending WAL: %w", err)
 	}
+	s.ops.walBytes.Add(uint64(len(rec)))
 	return nil
 }
 

@@ -45,6 +45,62 @@ func bucketValue(i int) uint64 {
 	return lo + (uint64(1)<<exp)/2
 }
 
+// bucketUpperBound returns the largest value that maps to bucket i.
+func bucketUpperBound(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	exp := uint(i/subBuckets - 1)
+	sub := uint64(i%subBuckets) + subBuckets
+	return (sub+1)<<exp - 1
+}
+
+// NumBuckets is the number of HDR buckets in a Histogram or
+// StripedHistogram, exported for exposition code.
+const NumBuckets = 64 * subBuckets
+
+// Distribution is a point-in-time copy of a histogram's bucket contents,
+// the raw material for Prometheus cumulative-bucket exposition.
+type Distribution struct {
+	Buckets []uint64 // len NumBuckets
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+}
+
+// CumulativeLE reports how many observations fall in buckets wholly at or
+// below v (nanoseconds). With the histogram's ~3% bucket resolution this is
+// the `le`-bucket count Prometheus expects, to within one bucket's width.
+func (d Distribution) CumulativeLE(v uint64) uint64 {
+	var n uint64
+	for i, c := range d.Buckets {
+		if c == 0 {
+			continue
+		}
+		if bucketUpperBound(i) > v {
+			break
+		}
+		n += c
+	}
+	return n
+}
+
+// Distribution returns a copy of the histogram's current contents.
+func (h *Histogram) Distribution() Distribution {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := Distribution{
+		Buckets: make([]uint64, NumBuckets),
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	}
+	copy(d.Buckets, h.buckets[:])
+	return d
+}
+
 // Record adds a duration observation.
 func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
@@ -110,7 +166,18 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	for i, c := range h.buckets {
 		seen += c
 		if seen > rank {
-			return time.Duration(bucketValue(i))
+			// bucketValue is the bucket midpoint, which can overshoot the
+			// recorded max (or undercut the min) when the extreme lands in
+			// the lower (upper) half of its bucket; clamp so percentiles
+			// never report a latency outside the observed range.
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
 		}
 	}
 	return time.Duration(h.max)

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+	_ "unsafe" // for go:linkname (per-P stripe selection)
+)
+
+// runtime_procPin pins the calling goroutine to its P and returns the P's
+// id; runtime_procUnpin releases it. This is the same mechanism sync.Pool
+// uses for its per-P local pools: while pinned, no other goroutine runs on
+// this P, so the P-indexed stripe below has exactly one writer at a time
+// and every Record hits a cache line that stays exclusive to one core.
+//
+//go:linkname runtime_procPin sync.runtime_procPin
+func runtime_procPin() int
+
+//go:linkname runtime_procUnpin sync.runtime_procUnpin
+func runtime_procUnpin()
+
+// StripedHistogram is a contention-free variant of Histogram for
+// write-heavy serving paths. Record touches only atomic counters in the
+// stripe owned by the calling goroutine's P, so concurrent writers on
+// different CPUs never serialise on a mutex or bounce a shared cache line.
+// Reads merge the stripes on demand into a plain Histogram.
+//
+// Two trade-offs versus Histogram: memory (one bucket array per P) and an
+// approximated sum — Record increments only the value's bucket, and
+// Snapshot reconstitutes the sum from bucket midpoints, so Mean carries the
+// histogram's ~3% bucket resolution instead of being exact. Both are
+// irrelevant for a handful of process-wide request/stage histograms scraped
+// every few seconds. Use NewStripedHistogram; the zero value is not ready.
+type StripedHistogram struct {
+	stripes []histStripe
+	mask    uint32
+}
+
+// histStripe pads its hot scalars to a cache line so neighbouring stripes'
+// min/max never share one with another P's bucket counters.
+type histStripe struct {
+	min atomic.Uint64 // math.MaxUint64 when empty
+	max atomic.Uint64
+	_   [48]byte
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// NewStripedHistogram sizes the stripe set to the next power of two at or
+// above GOMAXPROCS. Raising GOMAXPROCS afterwards folds the extra Ps onto
+// existing stripes (the P id wraps at the mask), which costs contention,
+// not correctness.
+func NewStripedHistogram() *StripedHistogram {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	h := &StripedHistogram{stripes: make([]histStripe, n), mask: uint32(n - 1)}
+	for i := range h.stripes {
+		h.stripes[i].min.Store(math.MaxUint64)
+	}
+	return h
+}
+
+// Record adds a duration observation. It never allocates and never blocks:
+// one atomic increment on a P-exclusive cache line, plus min/max updates
+// that only write while an extreme is actually being pushed outward.
+func (h *StripedHistogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	idx := bucketIndex(v)
+	st := &h.stripes[uint32(runtime_procPin())&h.mask]
+	st.buckets[idx].Add(1)
+	if v < st.min.Load() {
+		for {
+			cur := st.min.Load()
+			if v >= cur || st.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	if v > st.max.Load() {
+		for {
+			cur := st.max.Load()
+			if v <= cur || st.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	runtime_procUnpin()
+}
+
+// Count reports the number of observations.
+func (h *StripedHistogram) Count() uint64 {
+	var n uint64
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.buckets {
+			n += st.buckets[b].Load()
+		}
+	}
+	return n
+}
+
+// Snapshot merges the stripes into a plain Histogram, on which the usual
+// percentile/mean/summary math applies. Concurrent writers may land between
+// bucket loads, so a snapshot taken under load is consistent only to within
+// the in-flight handful of records — fine for monitoring reads.
+func (h *StripedHistogram) Snapshot() *Histogram {
+	out := &Histogram{min: math.MaxUint64}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		var stripeCount uint64
+		for b := range st.buckets {
+			if c := st.buckets[b].Load(); c != 0 {
+				out.buckets[b] += c
+				out.sum += bucketValue(b) * c
+				stripeCount += c
+			}
+		}
+		if stripeCount == 0 {
+			continue
+		}
+		out.count += stripeCount
+		if mn := st.min.Load(); mn < out.min {
+			out.min = mn
+		}
+		if mx := st.max.Load(); mx > out.max {
+			out.max = mx
+		}
+	}
+	if out.count == 0 {
+		out.min = 0
+		return out
+	}
+	// The midpoint-reconstituted sum can stray outside [min*count,
+	// max*count] when extremes sit off-centre in their buckets; clamp so
+	// Mean never reports a value outside the observed range.
+	if out.sum < out.min*out.count {
+		out.sum = out.min * out.count
+	}
+	if out.sum > out.max*out.count {
+		out.sum = out.max * out.count
+	}
+	return out
+}
+
+// Distribution returns the merged bucket contents for exposition.
+func (h *StripedHistogram) Distribution() Distribution {
+	return h.Snapshot().Distribution()
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStripedHistogramConcurrent hammers Record from many goroutines while a
+// reader merges snapshots, then checks the merged totals are exact once the
+// writers have joined. Run under -race this also proves the striped path has
+// no unsynchronised access.
+func TestStripedHistogramConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+	)
+	h := NewStripedHistogram()
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			if c := snap.Count(); c > writers*perWriter {
+				t.Errorf("snapshot count %d exceeds records written", c)
+				return
+			}
+			_ = snap.Percentile(90)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Spread across buckets; include the extremes so min/max
+				// CAS paths are exercised.
+				h.Record(time.Duration(1 + (w*perWriter+i)%1_000_000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := h.Snapshot()
+	if got, want := snap.Count(), uint64(writers*perWriter); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if got := time.Duration(snap.min); got != 1 {
+		t.Errorf("min = %v, want 1ns", got)
+	}
+	// Values recorded are 1 + (w*perWriter+i) % 1e6 with the global index
+	// below 160000, so the largest observation is exactly 160000ns.
+	if got, want := snap.Max(), time.Duration(writers*perWriter); got != want {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+	if p := snap.Percentile(50); p < time.Duration(snap.min) || p > snap.Max() {
+		t.Errorf("p50 %v outside [min,max] = [%d, %v]", p, snap.min, snap.Max())
+	}
+
+	// The merged distribution must be internally consistent.
+	d := h.Distribution()
+	var n uint64
+	for _, c := range d.Buckets {
+		n += c
+	}
+	if n != d.Count {
+		t.Errorf("bucket total %d != count %d", n, d.Count)
+	}
+	if d.CumulativeLE(^uint64(0)) != d.Count {
+		t.Errorf("CumulativeLE(+Inf) = %d, want %d", d.CumulativeLE(^uint64(0)), d.Count)
+	}
+}
+
+func TestStripedHistogramEmpty(t *testing.T) {
+	h := NewStripedHistogram()
+	snap := h.Snapshot()
+	if snap.Count() != 0 || snap.Max() != 0 || snap.Percentile(90) != 0 {
+		t.Fatalf("empty snapshot not zero: %s", snap.Summary())
+	}
+}
+
+func TestStripedHistogramRecordDoesNotAllocate(t *testing.T) {
+	h := NewStripedHistogram()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(123456)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestHistogramPercentileClamped is the regression test for midpoint
+// overshoot: a bucket's representative midpoint can exceed the recorded max
+// (or undercut the min) and must be clamped to the observed range.
+func TestHistogramPercentileClamped(t *testing.T) {
+	// 1009 falls in log bucket [1008,1024) whose midpoint 1016 > max.
+	h := &Histogram{}
+	h.Record(1009)
+	for _, p := range []float64{25, 50, 75, 90, 99.5} {
+		if got := h.Percentile(p); got != 1009 {
+			t.Errorf("single-value p%v = %v, want 1009ns", p, got)
+		}
+	}
+
+	// 1023 shares the bucket; its midpoint 1016 < min and must clamp up.
+	h2 := &Histogram{}
+	h2.Record(1023)
+	if got := h2.Percentile(50); got != 1023 {
+		t.Errorf("p50 = %v, want 1023ns (clamped to min)", got)
+	}
+
+	// Mixed recording: no percentile may leave [min, max].
+	h3 := &Histogram{}
+	for _, v := range []time.Duration{100, 1009, 5003, 90001} {
+		h3.Record(v)
+	}
+	for p := 0.0; p <= 100; p += 2.5 {
+		got := h3.Percentile(p)
+		if got < 100 || got > 90001 {
+			t.Errorf("p%v = %v outside recorded range [100ns, 90001ns]", p, got)
+		}
+	}
+}
+
+// BenchmarkHistogramRecordParallel contrasts the mutex-guarded histogram
+// with the striped one under parallel writers. The striped path must scale
+// (and allocate nothing) where the mutex path flatlines on contention.
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	b.Run("Mutex", func(b *testing.B) {
+		h := &Histogram{}
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := time.Duration(12345)
+			for pb.Next() {
+				h.Record(d)
+			}
+		})
+	})
+	b.Run("Striped", func(b *testing.B) {
+		h := NewStripedHistogram()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := time.Duration(12345)
+			for pb.Next() {
+				h.Record(d)
+			}
+		})
+	})
+}

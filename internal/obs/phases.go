@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phases times the sequential phases of a batch job (the indexer's
+// load/build/save pipeline). Not safe for concurrent use — batch phases are
+// sequential by construction.
+type Phases struct {
+	start time.Time
+	last  time.Time
+	list  []Phase
+}
+
+// Phase is one named, completed phase.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// StartPhases begins timing.
+func StartPhases() *Phases {
+	now := nowMono()
+	return &Phases{start: now, last: now}
+}
+
+// Mark closes the current phase under the given name and returns its
+// duration.
+func (p *Phases) Mark(name string) time.Duration {
+	now := nowMono()
+	d := now.Sub(p.last)
+	p.last = now
+	p.list = append(p.list, Phase{Name: name, Duration: d})
+	return d
+}
+
+// Total is the time since StartPhases.
+func (p *Phases) Total() time.Duration { return nowMono().Sub(p.start) }
+
+// List returns the completed phases in order.
+func (p *Phases) List() []Phase { return p.list }
+
+// String renders "load=1.2s build=3.4s save=0.5s total=5.1s".
+func (p *Phases) String() string {
+	var b strings.Builder
+	for _, ph := range p.list {
+		fmt.Fprintf(&b, "%s=%v ", ph.Name, ph.Duration.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "total=%v", p.Total().Round(time.Millisecond))
+	return b.String()
+}

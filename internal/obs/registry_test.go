@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"serenade/internal/metrics"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("serenade_test_total", "Test counter.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Re-registering returns the same instrument.
+	if again := r.Counter("serenade_test_total", "Test counter."); again.Value() != 5 {
+		t.Fatalf("re-registered counter lost state: %d", again.Value())
+	}
+
+	g := r.Gauge("serenade_test_gauge", "Test gauge.")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+
+	// Labeled series are distinct; same labels are shared.
+	a := r.Counter("serenade_labeled_total", "Labeled.", "backend", "pod-0")
+	b := r.Counter("serenade_labeled_total", "Labeled.", "backend", "pod-1")
+	a2 := r.Counter("serenade_labeled_total", "Labeled.", "backend", "pod-0")
+	a.Inc()
+	if b.Value() != 0 || a2.Value() != 1 {
+		t.Fatalf("label separation broken: a=%d b=%d a2=%d", a.Value(), b.Value(), a2.Value())
+	}
+}
+
+// promLine matches one exposition sample line (metric name, optional
+// labels, float value).
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serenade_requests_total", "Requests.").Add(3)
+	r.Gauge("serenade_sessions", "Sessions.").Set(11)
+	r.GaugeFunc("serenade_fn_gauge", "Func gauge.", func() float64 { return 2.5 })
+	r.Counter("serenade_errs_total", "Errs.", "class", "store").Inc()
+	r.Counter("serenade_errs_total", "Errs.", "class", `we"ird\`).Inc()
+	r.RegisterGoRuntime()
+
+	h := metrics.NewStripedHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * 10 * time.Microsecond) // 0 .. 10ms
+	}
+	r.Histogram("serenade_request_latency_seconds", "Latency.", h)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	samples := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+		samples++
+	}
+	if samples < 10 {
+		t.Errorf("only %d sample lines, want ≥10\n%s", samples, out)
+	}
+	for _, want := range []string{
+		"# TYPE serenade_requests_total counter",
+		"# TYPE serenade_request_latency_seconds histogram",
+		"serenade_requests_total 3",
+		"serenade_sessions 11",
+		"serenade_fn_gauge 2.5",
+		`serenade_errs_total{class="store"} 1`,
+		`serenade_errs_total{class="we\"ird\\"} 1`,
+		`serenade_request_latency_seconds_bucket{le="+Inf"} 1000`,
+		"serenade_request_latency_seconds_count 1000",
+		"serenade_go_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := &metrics.Histogram{}
+	// 100 obs at 1ms, 100 at 20ms, 10 at 600ms.
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(20 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(600 * time.Millisecond)
+	}
+	r.Histogram("serenade_lat_seconds", "Latency.", h)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+
+	type bkt struct {
+		le string
+		n  uint64
+	}
+	var bkts []bkt
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "serenade_lat_seconds_bucket") {
+			continue
+		}
+		le := line[strings.Index(line, `le="`)+4 : strings.Index(line, `"}`)]
+		n, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		bkts = append(bkts, bkt{le, n})
+	}
+	if len(bkts) != len(DefaultLatencyBuckets)+1 {
+		t.Fatalf("got %d bucket lines, want %d", len(bkts), len(DefaultLatencyBuckets)+1)
+	}
+	var prev uint64
+	for _, b := range bkts {
+		if b.n < prev {
+			t.Errorf("bucket le=%s count %d < previous %d (not cumulative)", b.le, b.n, prev)
+		}
+		prev = b.n
+	}
+	if last := bkts[len(bkts)-1]; last.le != "+Inf" || last.n != 210 {
+		t.Errorf("+Inf bucket = %+v, want {+Inf 210}", last)
+	}
+	// Spot-check the boundaries around the recorded values: everything at
+	// 1ms is ≤2.5ms; the 600ms outliers are beyond 0.5s.
+	for _, b := range bkts {
+		switch b.le {
+		case "0.0025":
+			if b.n != 100 {
+				t.Errorf("le=2.5ms = %d, want 100", b.n)
+			}
+		case "0.05":
+			if b.n != 200 {
+				t.Errorf("le=50ms = %d, want 200", b.n)
+			}
+		case "0.5":
+			if b.n != 200 {
+				t.Errorf("le=0.5s = %d, want 200", b.n)
+			}
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := metrics.NewStripedHistogram()
+	r.Histogram("serenade_lat_seconds", "Latency.", h)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("serenade_hammer_total", "Hammer.", "g", strconv.Itoa(g%2))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Record(time.Duration(i))
+				if i%100 == 0 {
+					r.Gauge("serenade_hammer_gauge", "Hammer.").Set(int64(i))
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := r.Counter("serenade_hammer_total", "Hammer.", "g", "0").Value() +
+		r.Counter("serenade_hammer_total", "Hammer.", "g", "1").Value()
+	if total != 8000 {
+		t.Fatalf("hammer counters sum to %d, want 8000", total)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortises runtime.ReadMemStats — a stop-the-world pause —
+// across the several runtime gauges read in one scrape.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = time.Now()
+	}
+	return c.stat
+}
+
+// RegisterGoRuntime adds the Go runtime gauges a production dashboard
+// expects next to the request series: goroutine count, heap in use, total
+// GC pause time and GC cycle count.
+func (r *Registry) RegisterGoRuntime() {
+	cache := &memStatsCache{}
+	r.GaugeFunc("serenade_go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("serenade_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(cache.read().HeapAlloc) })
+	r.GaugeFunc("serenade_go_sys_bytes", "Total bytes obtained from the OS.",
+		func() float64 { return float64(cache.read().Sys) })
+	r.CounterFunc("serenade_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(cache.read().PauseTotalNs) / 1e9 })
+	r.CounterFunc("serenade_go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(cache.read().NumGC) })
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"serenade/internal/index"
+	"serenade/internal/obs"
 	"serenade/internal/sessions"
 )
 
@@ -18,6 +19,8 @@ import (
 //	GET  /v1/session/{id}         debug view of stored session state
 //	GET  /healthz                 liveness probe for the orchestrator
 //	GET  /metrics                 JSON counters
+//	GET  /metrics.prom            Prometheus text exposition
+//	GET  /debug/traces            recent request traces with stage timings
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommendPost)
@@ -31,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("GET /metrics.prom", s.handlePromMetrics)
+	mux.Handle("GET /debug/traces", s.tracer.Handler())
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/trending", s.handleTrending)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -124,10 +128,11 @@ func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		s.countBadRequest()
 		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return
 	}
-	s.serveRecommend(w, req)
+	s.serveRecommend(w, r, req)
 }
 
 func (s *Server) handleRecommendGet(w http.ResponseWriter, r *http.Request) {
@@ -135,29 +140,46 @@ func (s *Server) handleRecommendGet(w http.ResponseWriter, r *http.Request) {
 	itemStr := q.Get("item_id")
 	item, err := strconv.ParseUint(itemStr, 10, 32)
 	if err != nil {
+		s.countBadRequest()
 		writeError(w, http.StatusBadRequest, "invalid item_id "+strconv.Quote(itemStr))
 		return
 	}
 	sessionKey := q.Get("session_id")
 	consent := q.Get("consent") != "false"
-	s.serveRecommend(w, Request{
+	s.serveRecommend(w, r, Request{
 		SessionKey: sessionKey,
 		Item:       sessions.ItemID(item),
 		Consent:    consent,
 	})
 }
 
-func (s *Server) serveRecommend(w http.ResponseWriter, req Request) {
+func (s *Server) countBadRequest() {
+	s.errors.Inc()
+	s.errInput.Inc()
+}
+
+// serveRecommend is the traced HTTP entry point: it continues a propagated
+// trace (Traceparent header) or starts a fresh one, echoes the trace id in
+// X-Request-Id, and attributes response serialisation to the encode stage.
+func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Request) {
+	sp := s.tracer.StartRemote("recommend", r.Header.Get(obs.TraceparentHeader))
+	w.Header().Set(obs.RequestIDHeader, sp.TraceID)
 	if req.SessionKey == "" {
+		s.countBadRequest()
+		sp.SetError("bad_request")
 		writeError(w, http.StatusBadRequest, "session_id is required")
+		s.tracer.Finish(sp)
 		return
 	}
-	resp, err := s.Recommend(req)
+	resp, err := s.recommend(req, sp)
 	if err != nil {
+		s.observeSpan(sp, err)
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+	sp.Cut(obs.StageEncode)
+	s.observeSpan(sp, nil)
 }
 
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
@@ -170,27 +192,14 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"session_id": key, "items": state})
 }
 
-// handlePromMetrics exposes the counters in the Prometheus text exposition
-// format, the scrape target a production deployment's monitoring expects.
+// handlePromMetrics exposes the full registry in the Prometheus text
+// exposition format: cumulative `le`-bucket latency histograms (request
+// total and per stage) derived from the HDR buckets, every counter and
+// gauge, and Go runtime stats — the scrape target from which the paper's
+// Figure 3(b)/3(c) curves can be reproduced.
 func (s *Server) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP serenade_requests_total Recommendation requests served.\n")
-	fmt.Fprintf(w, "# TYPE serenade_requests_total counter\n")
-	fmt.Fprintf(w, "serenade_requests_total %d\n", st.Requests)
-	fmt.Fprintf(w, "# HELP serenade_request_latency_seconds Request latency percentiles.\n")
-	fmt.Fprintf(w, "# TYPE serenade_request_latency_seconds summary\n")
-	fmt.Fprintf(w, "serenade_request_latency_seconds{quantile=\"0.9\"} %g\n", st.P90Latency.Seconds())
-	fmt.Fprintf(w, "serenade_request_latency_seconds{quantile=\"0.995\"} %g\n", st.P995Latency.Seconds())
-	fmt.Fprintf(w, "# HELP serenade_active_sessions Evolving sessions currently stored.\n")
-	fmt.Fprintf(w, "# TYPE serenade_active_sessions gauge\n")
-	fmt.Fprintf(w, "serenade_active_sessions %d\n", st.ActiveSessions)
-	fmt.Fprintf(w, "# HELP serenade_index_sessions Historical sessions in the active index.\n")
-	fmt.Fprintf(w, "# TYPE serenade_index_sessions gauge\n")
-	fmt.Fprintf(w, "serenade_index_sessions %d\n", st.IndexSessions)
-	fmt.Fprintf(w, "# HELP serenade_index_swaps_total Index rollovers since start.\n")
-	fmt.Fprintf(w, "# TYPE serenade_index_swaps_total counter\n")
-	fmt.Fprintf(w, "serenade_index_swaps_total %d\n", st.IndexSwaps)
+	s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -15,6 +15,7 @@ package serving
 import (
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"serenade/internal/core"
 	"serenade/internal/kvstore"
 	"serenade/internal/metrics"
+	"serenade/internal/obs"
 	"serenade/internal/sessions"
 	"serenade/internal/trending"
 )
@@ -69,6 +71,22 @@ type Config struct {
 	Trending *trending.Tracker
 	// Now injects a clock for tests.
 	Now func() time.Time
+
+	// SlowQueryThreshold enables the sampled slow-query log: any request
+	// slower than this gets its full stage breakdown logged through Logger.
+	// 0 disables slow-query logging.
+	SlowQueryThreshold time.Duration
+	// SlowLogPerSecond caps slow-query log entries per second (default 5).
+	SlowLogPerSecond int
+	// TraceRingSize is the capacity of the recent-trace ring served at
+	// GET /debug/traces; 0 means 256, negative disables the ring.
+	TraceRingSize int
+	// TraceSampleEvery keeps 1 in N traces in the ring (default 1 = all);
+	// slow requests bypass sampling.
+	TraceSampleEvery int
+	// Logger receives structured serving logs (slow queries); nil uses
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Server is one stateful recommendation server ("Serenade pod"). It is safe
@@ -84,7 +102,18 @@ type Server struct {
 	// recommenders bound to it. Swapped wholesale on index rollover.
 	active atomic.Pointer[indexGeneration]
 
-	requests *metrics.Histogram
+	// requests and stages are contention-free striped histograms: recording
+	// a latency must never become the scalability bottleneck it would be
+	// behind a single mutex (§6's curves are drawn from these).
+	requests *metrics.StripedHistogram
+	stages   [obs.NumStages]*metrics.StripedHistogram
+	tracer   *obs.Tracer
+	reg      *obs.Registry
+	errors   *obs.Counter
+	errStore *obs.Counter
+	errInput *obs.Counter
+	padded   *obs.Counter
+	depers   *obs.Counter
 	swaps    atomic.Uint64
 }
 
@@ -95,6 +124,10 @@ type indexGeneration struct {
 	// popular ranks items by document frequency, the fallback order.
 	popular []core.ScoredItem
 	pool    sync.Pool
+	// recBytes is one pooled recommender's footprint, computed once at
+	// generation build so Stats and the metrics scrape never need to pull
+	// a recommender out of the pool.
+	recBytes int64
 }
 
 func newGeneration(idx *core.Index, params core.Params, fallback bool) (*indexGeneration, error) {
@@ -102,7 +135,7 @@ func newGeneration(idx *core.Index, params core.Params, fallback bool) (*indexGe
 	if err != nil {
 		return nil, err
 	}
-	g := &indexGeneration{idx: idx}
+	g := &indexGeneration{idx: idx, recBytes: proto.MemoryFootprint()}
 	g.pool.New = func() any { return proto.Clone() }
 	if fallback {
 		g.popular = popularItems(idx)
@@ -160,11 +193,89 @@ func NewServer(idx *core.Index, cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		store:    store,
-		requests: &metrics.Histogram{},
+		requests: metrics.NewStripedHistogram(),
 	}
+	for i := range s.stages {
+		s.stages[i] = metrics.NewStripedHistogram()
+	}
+	var slowLog *obs.SlowLog
+	if cfg.SlowQueryThreshold > 0 {
+		slowLog = obs.NewSlowLog(cfg.Logger, cfg.SlowQueryThreshold, cfg.SlowLogPerSecond)
+	}
+	s.tracer = obs.NewTracer(obs.TracerOptions{
+		RingSize:    cfg.TraceRingSize,
+		SampleEvery: cfg.TraceSampleEvery,
+		SlowLog:     slowLog,
+	})
+	s.buildRegistry()
 	s.active.Store(gen)
 	return s, nil
 }
+
+// buildRegistry wires every serving signal into the Prometheus registry:
+// request/error/fallback counters, session-store op counters, index and
+// capacity gauges, the request and per-stage latency histograms, and the Go
+// runtime series — enough that the Figure 3(b)/3(c) curves fall out of a
+// plain scrape of /metrics.prom.
+func (s *Server) buildRegistry() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	s.errors = r.Counter("serenade_errors_total", "Requests that failed.")
+	s.errStore = r.Counter("serenade_errors_by_class_total", "Failed requests by error class.", "class", "store")
+	s.errInput = r.Counter("serenade_errors_by_class_total", "Failed requests by error class.", "class", "bad_request")
+	s.padded = r.Counter("serenade_fallback_padded_total", "Responses padded with popularity fallback items.")
+	s.depers = r.Counter("serenade_depersonalised_total", "Requests served without consent (history discarded).")
+
+	r.CounterFunc("serenade_requests_total", "Recommendation requests served.",
+		func() float64 { return float64(s.requests.Count()) })
+	r.CounterFunc("serenade_index_swaps_total", "Index rollovers since start.",
+		func() float64 { return float64(s.swaps.Load()) })
+
+	r.GaugeFunc("serenade_active_sessions", "Evolving sessions currently stored.",
+		func() float64 { return float64(s.store.Len()) })
+	r.GaugeFunc("serenade_index_sessions", "Historical sessions in the active index.",
+		func() float64 { return float64(s.active.Load().idx.NumSessions()) })
+	r.GaugeFunc("serenade_index_items", "Distinct items in the active index.",
+		func() float64 { return float64(s.active.Load().idx.NumItems()) })
+	r.GaugeFunc("serenade_index_bytes", "Estimated footprint of the active immutable index.",
+		func() float64 { return float64(s.active.Load().idx.MemoryFootprint()) })
+	r.GaugeFunc("serenade_recommender_bytes", "Per-goroutine footprint of one pooled query kernel.",
+		func() float64 { return float64(s.active.Load().recBytes) })
+
+	for _, c := range []struct {
+		name, help string
+		read       func(kvstore.Metrics) uint64
+	}{
+		{"serenade_store_gets_total", "Session-store reads.", func(m kvstore.Metrics) uint64 { return m.Gets }},
+		{"serenade_store_hits_total", "Session-store reads that found live state.", func(m kvstore.Metrics) uint64 { return m.Hits }},
+		{"serenade_store_puts_total", "Session-store writes.", func(m kvstore.Metrics) uint64 { return m.Puts }},
+		{"serenade_store_deletes_total", "Session-store deletes.", func(m kvstore.Metrics) uint64 { return m.Deletes }},
+		{"serenade_store_evictions_total", "Session entries dropped by TTL expiry.", func(m kvstore.Metrics) uint64 { return m.Evictions }},
+		{"serenade_store_wal_bytes_total", "Bytes appended to the session-store WAL.", func(m kvstore.Metrics) uint64 { return m.WALBytes }},
+	} {
+		read := c.read
+		r.CounterFunc(c.name, c.help, func() float64 { return float64(read(s.store.Metrics())) })
+	}
+
+	r.Histogram("serenade_request_latency_seconds", "End-to-end request latency.", s.requests)
+	for i := range s.stages {
+		r.Histogram("serenade_stage_latency_seconds", "Per-stage request latency.",
+			s.stages[i], "stage", obs.Stage(i).String())
+	}
+	r.RegisterGoRuntime()
+}
+
+// Registry exposes the server's metric registry (for embedding binaries
+// that add their own series next to the serving ones).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's request tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// FlushSlowLog emits the slow-query log's final summary; serving binaries
+// call it during graceful shutdown.
+func (s *Server) FlushSlowLog() { s.tracer.FlushSlowLog() }
 
 // SwapIndex atomically replaces the session similarity index — the daily
 // rollover after the offline job produces a fresh build. Evolving session
@@ -211,7 +322,17 @@ type Response struct {
 // prediction, business rules. It is the code path behind the HTTP handler
 // and is also called directly by the in-process load and A/B harnesses.
 func (s *Server) Recommend(req Request) (Response, error) {
-	started := s.cfg.Now()
+	sp := s.tracer.Start("recommend")
+	resp, err := s.recommend(req, sp)
+	s.observeSpan(sp, err)
+	return resp, err
+}
+
+// recommend is the traced request body. Stage attribution uses contiguous
+// cuts — every segment between span start and the last cut lands in some
+// stage — so a trace's stage durations account for (nearly all of) its
+// total and tail latency is attributable, not mysterious.
+func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 	if s.cfg.Trending != nil {
 		s.cfg.Trending.Observe(req.Item, 1)
 	}
@@ -221,11 +342,14 @@ func (s *Server) Recommend(req Request) (Response, error) {
 	} else {
 		// Depersonalisation (§4.2): forget stored history immediately and
 		// predict from the displayed item alone.
+		s.depers.Inc()
 		if err := s.store.Delete(req.SessionKey); err != nil {
+			sp.Cut(obs.StageStore)
 			return Response{}, err
 		}
 		evolving = []sessions.ItemID{req.Item}
 	}
+	sp.Cut(obs.StageStore)
 
 	predictFrom := evolving
 	if s.cfg.HistoryLength > 0 && len(predictFrom) > s.cfg.HistoryLength {
@@ -235,7 +359,11 @@ func (s *Server) Recommend(req Request) (Response, error) {
 	gen := s.active.Load()
 	rec := gen.pool.Get().(*core.Recommender)
 	// Over-fetch so that business-rule filtering can still fill the slot.
-	raw := rec.Recommend(predictFrom, 2*s.cfg.Recommendations+1)
+	slot := 2*s.cfg.Recommendations + 1
+	neighbors := rec.NeighborSessions(predictFrom)
+	sp.Cut(obs.StageCandidates)
+	raw := rec.ScoreNeighbors(neighbors, slot)
+	sp.Cut(obs.StageScore)
 	items := s.applyRules(req.Item, raw)
 	if len(items) > s.cfg.Recommendations {
 		items = items[:s.cfg.Recommendations]
@@ -245,11 +373,35 @@ func (s *Server) Recommend(req Request) (Response, error) {
 	copy(out, items)
 	gen.pool.Put(rec)
 	if len(out) < s.cfg.Recommendations && len(gen.popular) > 0 {
-		out = s.padWithPopular(out, req.Item, gen.popular)
+		padded := s.padWithPopular(out, req.Item, gen.popular)
+		if len(padded) > len(out) {
+			s.padded.Inc()
+		}
+		out = padded
 	}
+	sp.Cut(obs.StageFilter)
 
-	s.requests.Record(s.cfg.Now().Sub(started))
 	return Response{Items: out, SessionLength: len(evolving)}, nil
+}
+
+// observeSpan closes a request span: it freezes the total, feeds the
+// request and per-stage histograms, counts errors, and hands the span to
+// the tracer (ring sampling, slow-query log). The span must not be used
+// afterwards.
+func (s *Server) observeSpan(sp *obs.Span, err error) {
+	if err != nil {
+		sp.SetError("store")
+		s.errors.Inc()
+		s.errStore.Inc()
+	}
+	sp.End()
+	s.requests.Record(sp.Total)
+	for i, d := range sp.Stages {
+		if d > 0 {
+			s.stages[i].Record(d)
+		}
+	}
+	s.tracer.Finish(sp)
 }
 
 // updateSession appends the item to the stored session and returns the new
@@ -344,16 +496,29 @@ func (s *Server) SessionState(key string) ([]sessions.ItemID, bool) {
 // RocksDB TTL; serving machines call it periodically.
 func (s *Server) SweepSessions() int { return s.store.Sweep() }
 
-// LatencyHistogram exposes the server-side request latency distribution.
-func (s *Server) LatencyHistogram() *metrics.Histogram { return s.requests }
+// LatencyHistogram returns a snapshot of the server-side request latency
+// distribution. (It is a merged copy of the striped recording state: safe
+// to query at leisure, but later requests require a fresh snapshot.)
+func (s *Server) LatencyHistogram() *metrics.Histogram { return s.requests.Snapshot() }
+
+// StageStats is one pipeline stage's latency summary in Stats.
+type StageStats struct {
+	Stage       string        `json:"stage"`
+	Count       uint64        `json:"count"`
+	MeanLatency time.Duration `json:"mean_latency_ns"`
+	P90Latency  time.Duration `json:"p90_latency_ns"`
+	P995Latency time.Duration `json:"p995_latency_ns"`
+}
 
 // Stats summarises the server for the /metrics endpoint.
 type Stats struct {
 	Requests       uint64        `json:"requests"`
+	Errors         uint64        `json:"errors"`
 	MeanLatency    time.Duration `json:"mean_latency_ns"`
 	P90Latency     time.Duration `json:"p90_latency_ns"`
 	P995Latency    time.Duration `json:"p995_latency_ns"`
 	ActiveSessions int           `json:"active_sessions"`
+	StoreEvictions uint64        `json:"store_evictions"`
 	IndexSessions  int           `json:"index_sessions"`
 	IndexItems     int           `json:"index_items"`
 	IndexSwaps     uint64        `json:"index_swaps"`
@@ -364,26 +529,44 @@ type Stats struct {
 	// RecommenderBytes per pod.
 	IndexBytes       int64 `json:"index_bytes"`
 	RecommenderBytes int64 `json:"recommender_bytes"`
+	// Stages breaks the request latency down by pipeline stage (stages
+	// with no observations are omitted), attributing tail latency to
+	// session-store access vs index lookup vs scoring vs serialization.
+	Stages []StageStats `json:"stages,omitempty"`
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	gen := s.active.Load()
-	rec := gen.pool.Get().(*core.Recommender)
-	recBytes := rec.MemoryFootprint()
-	gen.pool.Put(rec)
-	return Stats{
-		Requests:         s.requests.Count(),
-		MeanLatency:      s.requests.Mean(),
-		P90Latency:       s.requests.Percentile(90),
-		P995Latency:      s.requests.Percentile(99.5),
+	lat := s.requests.Snapshot()
+	st := Stats{
+		Requests:         lat.Count(),
+		Errors:           s.errors.Value(),
+		MeanLatency:      lat.Mean(),
+		P90Latency:       lat.Percentile(90),
+		P995Latency:      lat.Percentile(99.5),
 		ActiveSessions:   s.store.Len(),
+		StoreEvictions:   s.store.Metrics().Evictions,
 		IndexSessions:    gen.idx.NumSessions(),
 		IndexItems:       gen.idx.NumItems(),
 		IndexSwaps:       s.swaps.Load(),
 		IndexBytes:       gen.idx.MemoryFootprint(),
-		RecommenderBytes: recBytes,
+		RecommenderBytes: gen.recBytes,
 	}
+	for i := range s.stages {
+		snap := s.stages[i].Snapshot()
+		if snap.Count() == 0 {
+			continue
+		}
+		st.Stages = append(st.Stages, StageStats{
+			Stage:       obs.Stage(i).String(),
+			Count:       snap.Count(),
+			MeanLatency: snap.Mean(),
+			P90Latency:  snap.Percentile(90),
+			P995Latency: snap.Percentile(99.5),
+		})
+	}
+	return st
 }
 
 // encodeSession serialises an evolving session as varint-encoded item ids.

@@ -659,7 +659,12 @@ func TestPrometheusMetrics(t *testing.T) {
 		"serenade_requests_total 1",
 		"serenade_active_sessions 1",
 		"serenade_index_swaps_total 0",
-		`quantile="0.9"`,
+		"# TYPE serenade_request_latency_seconds histogram",
+		`serenade_request_latency_seconds_bucket{le="+Inf"} 1`,
+		"serenade_request_latency_seconds_count 1",
+		`serenade_stage_latency_seconds_bucket{stage="score",le="+Inf"} 1`,
+		"serenade_store_gets_total",
+		"serenade_go_goroutines",
 	} {
 		if !bytes.Contains([]byte(text), []byte(want)) {
 			t.Errorf("prometheus output missing %q:\n%s", want, text)
