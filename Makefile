@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/serving ./internal/obs ./internal/metrics ./internal/cluster
+	$(GO) test -race ./internal/core ./internal/serving ./internal/obs ./internal/metrics ./internal/cluster ./internal/kvstore ./client
 
 # All microbenchmarks, quick.
 bench:

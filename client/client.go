@@ -9,12 +9,16 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"serenade/internal/core"
@@ -30,8 +34,15 @@ type Options struct {
 	// "respond in 50 ms or less", beyond which the frontend drops the slot.
 	Timeout time.Duration
 	// Retries is the number of additional attempts on transient errors
-	// (network failures and 5xx); 0 means 1 retry.
+	// (network failures and 5xx); 0 means 1 retry. Retried POSTs carry the
+	// same X-Idempotency-Key, so the server deduplicates a retry whose
+	// first attempt actually landed. Set DisableRetries to turn retries
+	// off entirely.
 	Retries int
+	// DisableRetries makes every request single-attempt, overriding
+	// Retries. (Retries cannot express this: its zero value means one
+	// retry, and changing that would silently alter existing callers.)
+	DisableRetries bool
 	// HTTPClient overrides the transport (tests inject httptest clients).
 	HTTPClient *http.Client
 }
@@ -55,6 +66,9 @@ func New(opts Options) (*Client, error) {
 	if opts.Retries <= 0 {
 		opts.Retries = 1
 	}
+	if opts.DisableRetries {
+		opts.Retries = 0
+	}
 	hc := opts.HTTPClient
 	if hc == nil {
 		hc = &http.Client{}
@@ -77,7 +91,10 @@ func (c *Client) Recommend(ctx context.Context, sessionKey string, item sessions
 		return serving.Response{}, err
 	}
 	var out serving.Response
-	err = c.do(ctx, http.MethodPost, "/v1/recommend", sessionKey, body, &out)
+	// One key per logical click: every retry of this call carries the same
+	// key, so a retry whose first attempt actually landed is deduplicated
+	// server-side instead of appending the click to the session twice.
+	err = c.do(ctx, http.MethodPost, "/v1/recommend", sessionKey, newIdempotencyKey(), body, &out)
 	return out, err
 }
 
@@ -85,20 +102,20 @@ func (c *Client) Recommend(ctx context.Context, sessionKey string, item sessions
 func (c *Client) Explain(ctx context.Context, sessionKey string, item sessions.ItemID) (core.Explanation, error) {
 	var out core.Explanation
 	path := "/v1/explain?session_id=" + url.QueryEscape(sessionKey) + "&item_id=" + strconv.FormatUint(uint64(item), 10)
-	err := c.do(ctx, http.MethodGet, path, sessionKey, nil, &out)
+	err := c.do(ctx, http.MethodGet, path, sessionKey, "", nil, &out)
 	return out, err
 }
 
 // Stats fetches the server's counters.
 func (c *Client) Stats(ctx context.Context) (serving.Stats, error) {
 	var out serving.Stats
-	err := c.do(ctx, http.MethodGet, "/metrics", "", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/metrics", "", "", nil, &out)
 	return out, err
 }
 
 // Healthy reports whether the server answers its liveness probe.
 func (c *Client) Healthy(ctx context.Context) bool {
-	req, err := c.newRequest(ctx, http.MethodGet, "/healthz", "", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/healthz", "", "", nil)
 	if err != nil {
 		return false
 	}
@@ -111,7 +128,7 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-func (c *Client) newRequest(ctx context.Context, method, path, sessionKey string, body []byte) (*http.Request, error) {
+func (c *Client) newRequest(ctx context.Context, method, path, sessionKey, idemKey string, body []byte) (*http.Request, error) {
 	u, err := c.base.Parse(path)
 	if err != nil {
 		return nil, err
@@ -130,6 +147,9 @@ func (c *Client) newRequest(ctx context.Context, method, path, sessionKey string
 	if sessionKey != "" {
 		// Affinity header for proxies that cannot see the body.
 		req.Header.Set("X-Session-Id", sessionKey)
+	}
+	if idemKey != "" {
+		req.Header.Set(serving.IdempotencyKeyHeader, idemKey)
 	}
 	return req, nil
 }
@@ -161,7 +181,7 @@ func asAPIError(err error, target **apiError) bool {
 	return ok
 }
 
-func (c *Client) do(ctx context.Context, method, path, sessionKey string, body []byte, out any) error {
+func (c *Client) do(ctx context.Context, method, path, sessionKey, idemKey string, body []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -171,8 +191,13 @@ func (c *Client) do(ctx context.Context, method, path, sessionKey string, body [
 			case <-time.After(time.Duration(attempt) * 2 * time.Millisecond):
 			}
 		}
-		req, err := c.newRequest(ctx, method, path, sessionKey, body)
+		req, err := c.newRequest(ctx, method, path, sessionKey, idemKey, body)
 		if err != nil {
+			return err
+		}
+		// A context cancelled during the previous attempt (not just during
+		// the backoff sleep) must stop here, before another transport call.
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		resp, err := c.http.Do(req)
@@ -197,6 +222,22 @@ func (c *Client) do(ctx context.Context, method, path, sessionKey string, body [
 		return nil
 	}
 	return lastErr
+}
+
+// idemSeq breaks ties in the fallback key path; see newIdempotencyKey.
+var idemSeq atomic.Uint64
+
+// newIdempotencyKey returns a key unique to one logical request. Random
+// keys need no coordination; if the system entropy source fails the key
+// falls back to wall-clock nanoseconds plus a process-wide counter, which
+// is still unique within this process — the only scope retries come from.
+func newIdempotencyKey() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		binary.BigEndian.PutUint64(buf[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(buf[8:], idemSeq.Add(1))
+	}
+	return hex.EncodeToString(buf[:])
 }
 
 // StatusCode extracts the HTTP status from an error returned by this

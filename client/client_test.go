@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -13,7 +14,7 @@ import (
 	"serenade/internal/synth"
 )
 
-func startServer(t *testing.T) (*httptest.Server, *serving.Server) {
+func newServing(t *testing.T) *serving.Server {
 	t.Helper()
 	ds, err := synth.Generate(synth.Small(44))
 	if err != nil {
@@ -27,9 +28,15 @@ func startServer(t *testing.T) (*httptest.Server, *serving.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func startServer(t *testing.T) (*httptest.Server, *serving.Server) {
+	t.Helper()
+	srv := newServing(t)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	t.Cleanup(func() { srv.Close() })
 	return ts, srv
 }
 
@@ -158,6 +165,90 @@ func TestNoRetryOn4xx(t *testing.T) {
 	}
 	if calls.Load() != 1 {
 		t.Errorf("calls = %d, want 1 (client errors must not retry)", calls.Load())
+	}
+}
+
+// TestDuplicateClickRetryDeduplicated reproduces the duplicate-click
+// failure mode end-to-end: the server appends the click but the response is
+// lost on the network, the client times out and retries with the same
+// X-Idempotency-Key, and the server must replay the stored response instead
+// of counting the click twice.
+func TestDuplicateClickRetryDeduplicated(t *testing.T) {
+	srv := newServing(t)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt: fully processed server-side, response
+			// discarded; stall past the client timeout so it retries.
+			srv.Handler().ServeHTTP(httptest.NewRecorder(), r)
+			time.Sleep(200 * time.Millisecond)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, Timeout: 50 * time.Millisecond, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Recommend(context.Background(), "dup", 7, true)
+	if err != nil {
+		t.Fatalf("retry did not recover the lost response: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2 (one lost, one replayed)", got)
+	}
+	if resp.SessionLength != 1 {
+		t.Errorf("session length = %d, want 1: the retry appended the click again", resp.SessionLength)
+	}
+	if state, ok := srv.SessionState("dup"); !ok || len(state) != 1 {
+		t.Errorf("stored session = %v, %v; want exactly the one click", state, ok)
+	}
+}
+
+func TestDisableRetries(t *testing.T) {
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "transient", http.StatusBadGateway)
+	}))
+	defer flaky.Close()
+
+	// DisableRetries must win even when Retries asks for more attempts.
+	c, err := New(Options{BaseURL: flaky.URL, Timeout: time.Second, Retries: 5, DisableRetries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Recommend(context.Background(), "u", 1, true)
+	if StatusCode(err) != http.StatusBadGateway {
+		t.Fatalf("err = %v, want the 502 surfaced", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 with retries disabled", calls.Load())
+	}
+}
+
+// TestContextCancelledDuringAttempt: a context cancelled while an attempt
+// is in flight must stop the retry loop before another transport call.
+func TestContextCancelledDuringAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		cancel() // the caller gives up while the request is being served
+		http.Error(w, "transient", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	c, _ := New(Options{BaseURL: srv.URL, Timeout: time.Second, Retries: 3})
+	_, err := c.Recommend(ctx, "u", 1, true)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (no attempts after cancellation)", calls.Load())
 	}
 }
 

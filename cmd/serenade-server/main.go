@@ -39,6 +39,9 @@ func main() {
 		slotSize  = flag.Int("recommendations", 21, "items per response")
 		ttl       = flag.Duration("session-ttl", 30*time.Minute, "session inactivity expiry")
 		storeDir  = flag.String("store-dir", "", "durable session store directory (empty = memory only)")
+		walSync   = flag.String("wal-sync", "interval", "session store WAL fsync policy: always | interval | never")
+		walSyncIv = flag.Duration("wal-sync-interval", 5*time.Millisecond, "group-commit window for -wal-sync=interval")
+		idemTTL   = flag.Duration("idempotency-ttl", 2*time.Minute, "response retention for X-Idempotency-Key deduplication (negative disables)")
 		fallback  = flag.Bool("fallback-popular", true, "pad short lists with popular items")
 		trendHL   = flag.Duration("trending-half-life", 2*time.Hour, "trending tracker half-life (0 disables /v1/trending)")
 		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
@@ -50,6 +53,10 @@ func main() {
 	flag.Parse()
 	if *indexPath == "" {
 		log.Fatal("-index is required")
+	}
+	syncPolicy, err := serenade.ParseWALSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var handler slog.Handler
@@ -78,6 +85,9 @@ func main() {
 		HistoryLength:      *history,
 		SessionTTL:         *ttl,
 		StoreDir:           *storeDir,
+		WALSync:            syncPolicy,
+		WALSyncInterval:    *walSyncIv,
+		IdempotencyTTL:     *idemTTL,
 		Catalog:            serenade.NewCatalog(),
 		FallbackToPopular:  *fallback,
 		Trending:           tracker,

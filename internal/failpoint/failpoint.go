@@ -1,0 +1,96 @@
+// Package failpoint provides named fault-injection points for crash and
+// error testing. Production code threads Inject calls through sequences
+// whose intermediate states matter (the kvstore's WAL append → sync →
+// memtable publish → snapshot → rename → trim chain); tests arm individual
+// points to return errors, simulate a kill, or block until released.
+//
+// The package is a no-op unless a point is armed: the disarmed fast path is
+// a single atomic load, cheap enough to leave in hot paths permanently.
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrKilled is the conventional error a hook returns to simulate a process
+// kill at the injection point. Code that sees it must return immediately
+// without performing any further side effects, leaving on-disk state exactly
+// as a crash at that instant would.
+var ErrKilled = errors.New("failpoint: killed")
+
+var (
+	// armed counts enabled points; zero short-circuits Inject before any
+	// map access so the disarmed cost is one atomic load.
+	armed atomic.Int32
+
+	mu    sync.Mutex
+	hooks = map[string]func() error{}
+)
+
+// Inject runs the hook armed at name, if any. A non-nil return means the
+// caller must abandon the operation at this point.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := hooks[name]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Enable arms name with a hook. Re-enabling an armed point replaces its
+// hook.
+func Enable(name string, fn func() error) {
+	if fn == nil {
+		panic("failpoint: nil hook")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[name]; !ok {
+		armed.Add(1)
+	}
+	hooks[name] = fn
+}
+
+// Disable disarms name. Disabling an unarmed point is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[name]; ok {
+		delete(hooks, name)
+		armed.Add(-1)
+	}
+}
+
+// DisableAll disarms every point; tests defer it for cleanup.
+func DisableAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name := range hooks {
+		delete(hooks, name)
+		armed.Add(-1)
+	}
+}
+
+// After returns a hook that succeeds until its nth invocation (1-based) and
+// returns err from then on — "run the workload up to the kill point".
+func After(n int, err error) func() error {
+	var calls atomic.Int64
+	return func() error {
+		if calls.Add(1) >= int64(n) {
+			return err
+		}
+		return nil
+	}
+}
+
+// Fail returns a hook that always returns err.
+func Fail(err error) func() error {
+	return func() error { return err }
+}

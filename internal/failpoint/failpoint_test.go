@@ -1,0 +1,81 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	if err := Inject("never-armed"); err != nil {
+		t.Fatalf("disarmed Inject = %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer DisableAll()
+	boom := errors.New("boom")
+	Enable("p", Fail(boom))
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("armed Inject = %v, want boom", err)
+	}
+	// Other points stay disarmed.
+	if err := Inject("q"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	Disable("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("disabled Inject = %v", err)
+	}
+	// Double disable is a no-op and must not corrupt the armed count.
+	Disable("p")
+	if armed.Load() != 0 {
+		t.Fatalf("armed count = %d after balanced enable/disable", armed.Load())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	defer DisableAll()
+	Enable("p", After(3, ErrKilled))
+	for i := 1; i <= 2; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("hit %d = %v, want nil", i, err)
+		}
+	}
+	for i := 3; i <= 4; i++ {
+		if err := Inject("p"); !errors.Is(err, ErrKilled) {
+			t.Fatalf("hit %d = %v, want ErrKilled", i, err)
+		}
+	}
+}
+
+func TestReenableReplacesHook(t *testing.T) {
+	defer DisableAll()
+	first := errors.New("first")
+	second := errors.New("second")
+	Enable("p", Fail(first))
+	Enable("p", Fail(second))
+	if err := Inject("p"); !errors.Is(err, second) {
+		t.Fatalf("Inject = %v, want second", err)
+	}
+	if armed.Load() != 1 {
+		t.Fatalf("re-enable double-counted: armed = %d", armed.Load())
+	}
+}
+
+func TestConcurrentInject(t *testing.T) {
+	defer DisableAll()
+	Enable("p", After(1000, ErrKilled))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Inject("p")
+				Inject("unarmed")
+			}
+		}()
+	}
+	wg.Wait()
+}

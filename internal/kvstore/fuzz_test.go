@@ -51,3 +51,58 @@ func FuzzWALRecovery(f *testing.F) {
 		store.Close()
 	})
 }
+
+// FuzzSnapshotRecovery: arbitrary snapshot bytes must never fail or panic
+// Open — the whole-file CRC rejects anything torn or bit-rotted and
+// recovery falls back to replaying the WAL, whose records must survive
+// regardless of the snapshot's fate.
+func FuzzSnapshotRecovery(f *testing.F) {
+	dir, err := os.MkdirTemp("", "kvsnapseed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Put("key-one", []byte("value-one"))
+	s.Put("key-two", []byte("value-two"))
+	if err := s.Compact(); err != nil {
+		f.Fatal(err)
+	}
+	s.Close()
+	snapBytes, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snapBytes)
+	f.Add(snapBytes[:len(snapBytes)/2])
+	f.Add([]byte{})
+	mutated := append([]byte(nil), snapBytes...)
+	mutated[len(mutated)/2] ^= 0x01
+	f.Add(mutated)
+
+	walRecord := encodeRecord(opPut, "wal-key", []byte("wal-value"), 42)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(fdir, snapshotName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(fdir, walName), walRecord, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		store, err := Open(Options{Dir: fdir})
+		if err != nil {
+			t.Fatalf("snapshot bytes failed Open instead of falling back: %v", err)
+		}
+		if v, ok := store.Get("wal-key"); !ok || string(v) != "wal-value" {
+			t.Fatalf("WAL record lost under snapshot corruption: %q, %v", v, ok)
+		}
+		if err := store.Put("probe", []byte("x")); err != nil {
+			t.Fatalf("recovered store rejects writes: %v", err)
+		}
+		store.Close()
+	})
+}

@@ -10,9 +10,21 @@
 // hash table with an append-only WAL and snapshot compaction; it is not an
 // LSM tree because the paper's workload (small values, hot working set,
 // aggressive TTL) never accumulates data beyond memory.
+//
+// Durability contract: a Put or Delete that returns nil is recoverable after
+// a crash, subject to the WAL sync policy — immediately with SyncAlways,
+// within one group-commit interval with SyncInterval, and only as far as the
+// OS page cache with SyncNever. The commit protocol (WAL append + memtable
+// publish under a shared commit lock, Compact's cut and WAL trim under the
+// exclusive side) guarantees that no acknowledged write can fall between a
+// snapshot and the trimmed WAL. Every step of the append → sync → publish →
+// snapshot → rename → trim sequence carries a named failpoint
+// (internal/failpoint) so the kill-at-every-point crash test can prove the
+// contract at each intermediate state.
 package kvstore
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,7 +36,90 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"serenade/internal/failpoint"
 )
+
+// SyncPolicy selects when WAL appends are fsynced to disk.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs inside every Put/Delete before it returns: an
+	// acknowledged write survives any crash. Highest latency.
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval group-commits: a background flusher fsyncs all appends
+	// since the last flush every Options.SyncInterval. A crash can lose at
+	// most one interval of acknowledged writes. The default.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever leaves durability to the OS page cache: writes survive a
+	// process crash but not a machine crash.
+	SyncNever SyncPolicy = "never"
+)
+
+// DefaultSyncInterval is the group-commit flush period when
+// Options.SyncInterval is zero.
+const DefaultSyncInterval = 5 * time.Millisecond
+
+// ParseSyncPolicy validates a policy string (e.g. from a -wal-sync flag).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncInterval, SyncNever:
+		return SyncPolicy(s), nil
+	case "":
+		return SyncInterval, nil
+	}
+	return "", fmt.Errorf("kvstore: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// Failpoint names, in commit-sequence order. Each marks the instant before
+// the named effect happens; a hook returning failpoint.ErrKilled simulates a
+// crash with all earlier effects on disk and none of the later ones.
+const (
+	// FailWALAppend fires before the record is written to the WAL.
+	FailWALAppend = "kvstore/wal-append"
+	// FailWALAppendPartial writes only half the record first — the torn
+	// tail a real crash mid-write leaves behind.
+	FailWALAppendPartial = "kvstore/wal-append-partial"
+	// FailWALSync fires after the append, before the SyncAlways fsync.
+	FailWALSync = "kvstore/wal-sync"
+	// FailMemtablePublish fires after the (synced) append, before the entry
+	// becomes visible in the memtable.
+	FailMemtablePublish = "kvstore/memtable-publish"
+	// FailCompactSnapshotWrite fires mid-serialization of the temp
+	// snapshot, leaving a partial temp file.
+	FailCompactSnapshotWrite = "kvstore/compact-snapshot-write"
+	// FailCompactSnapshotSync fires after the temp snapshot is fully
+	// written, before its fsync.
+	FailCompactSnapshotSync = "kvstore/compact-snapshot-sync"
+	// FailCompactSnapshotRename fires before the temp snapshot is renamed
+	// over the live one.
+	FailCompactSnapshotRename = "kvstore/compact-snapshot-rename"
+	// FailCompactWALTrim fires after the snapshot is installed, before the
+	// WAL trim starts: recovery sees the new snapshot plus the full WAL.
+	FailCompactWALTrim = "kvstore/compact-wal-trim"
+	// FailCompactWALSwapRename fires after the trimmed WAL is written and
+	// synced, before it is renamed over the live WAL.
+	FailCompactWALSwapRename = "kvstore/compact-wal-swap-rename"
+	// FailCompactWALInstall fires after the trim rename, before the store
+	// swaps its file handle. Kill-only: arming it with a plain error would
+	// leave the handle pointing at the unlinked old WAL.
+	FailCompactWALInstall = "kvstore/compact-wal-install"
+)
+
+// CrashPoints lists every failpoint in the commit/compact sequence, in
+// order, for kill-at-every-point harnesses.
+var CrashPoints = []string{
+	FailWALAppend,
+	FailWALAppendPartial,
+	FailWALSync,
+	FailMemtablePublish,
+	FailCompactSnapshotWrite,
+	FailCompactSnapshotSync,
+	FailCompactSnapshotRename,
+	FailCompactWALTrim,
+	FailCompactWALSwapRename,
+	FailCompactWALInstall,
+}
 
 // Options configures a Store.
 type Options struct {
@@ -37,6 +132,11 @@ type Options struct {
 	// TTL is the sliding inactivity window after which entries expire.
 	// Zero disables expiry.
 	TTL time.Duration
+	// Sync is the WAL durability policy; empty means SyncInterval.
+	Sync SyncPolicy
+	// SyncInterval is the group-commit flush period for SyncInterval; zero
+	// means DefaultSyncInterval.
+	SyncInterval time.Duration
 	// Now supplies the clock; defaults to time.Now. Tests inject a fake.
 	Now func() time.Time
 }
@@ -51,6 +151,12 @@ type shard struct {
 	m  map[string]entry
 }
 
+// kvPair is one memtable entry captured for snapshot serialization.
+type kvPair struct {
+	key string
+	e   entry
+}
+
 // Store is a TTL key-value store, safe for concurrent use.
 type Store struct {
 	opts   Options
@@ -59,19 +165,42 @@ type Store struct {
 
 	ops opCounters
 
-	walMu  sync.Mutex
-	wal    *os.File
-	closed bool
+	// commitMu makes the WAL-append + memtable-publish pair atomic with
+	// respect to Compact: writers hold the shared side across both steps;
+	// Compact's cut and WAL trim hold the exclusive side. Without it a
+	// Compact landing between the two steps would snapshot a memtable
+	// missing the entry and trim the WAL record away — losing an
+	// acknowledged write on the next recovery. Lock order: commitMu before
+	// walMu before shard locks.
+	commitMu sync.RWMutex
+
+	// compactMu serializes whole Compact calls (their temp files collide).
+	compactMu sync.Mutex
+
+	// walMu protects the WAL handle and its append/sync bookkeeping.
+	walMu   sync.Mutex
+	wal     *os.File
+	walSize int64 // append offset; the compaction cut is taken from it
+	dirty   int   // records appended since the last successful fsync
+	closed  bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 // opCounters tracks store operations for the serving metrics endpoint.
 type opCounters struct {
-	gets      atomic.Uint64
-	hits      atomic.Uint64
-	puts      atomic.Uint64
-	deletes   atomic.Uint64
-	evictions atomic.Uint64
-	walBytes  atomic.Uint64
+	gets              atomic.Uint64
+	hits              atomic.Uint64
+	puts              atomic.Uint64
+	deletes           atomic.Uint64
+	evictions         atomic.Uint64
+	walBytes          atomic.Uint64
+	fsyncs            atomic.Uint64
+	fsyncNanos        atomic.Uint64
+	fsyncBatchRecords atomic.Uint64
+	unknownWALOps     atomic.Uint64
+	snapshotFallbacks atomic.Uint64
 }
 
 // Metrics is a snapshot of the store's operation counters. Evictions count
@@ -84,17 +213,34 @@ type Metrics struct {
 	Deletes   uint64
 	Evictions uint64
 	WALBytes  uint64
+	// Fsyncs counts WAL fsync calls; FsyncNanos is their total duration and
+	// FsyncBatchRecords the appends they made durable, so fsync latency and
+	// group-commit batch size fall out as ratios.
+	Fsyncs            uint64
+	FsyncNanos        uint64
+	FsyncBatchRecords uint64
+	// UnknownWALOps counts WAL records with a valid checksum but an
+	// unrecognized opcode; replay stops conservatively at the first one.
+	UnknownWALOps uint64
+	// SnapshotFallbacks counts recoveries that rejected a corrupt snapshot
+	// and fell back to WAL-only replay.
+	SnapshotFallbacks uint64
 }
 
 // Metrics returns the operation counters accumulated since Open.
 func (s *Store) Metrics() Metrics {
 	return Metrics{
-		Gets:      s.ops.gets.Load(),
-		Hits:      s.ops.hits.Load(),
-		Puts:      s.ops.puts.Load(),
-		Deletes:   s.ops.deletes.Load(),
-		Evictions: s.ops.evictions.Load(),
-		WALBytes:  s.ops.walBytes.Load(),
+		Gets:              s.ops.gets.Load(),
+		Hits:              s.ops.hits.Load(),
+		Puts:              s.ops.puts.Load(),
+		Deletes:           s.ops.deletes.Load(),
+		Evictions:         s.ops.evictions.Load(),
+		WALBytes:          s.ops.walBytes.Load(),
+		Fsyncs:            s.ops.fsyncs.Load(),
+		FsyncNanos:        s.ops.fsyncNanos.Load(),
+		FsyncBatchRecords: s.ops.fsyncBatchRecords.Load(),
+		UnknownWALOps:     s.ops.unknownWALOps.Load(),
+		SnapshotFallbacks: s.ops.snapshotFallbacks.Load(),
 	}
 }
 
@@ -123,6 +269,14 @@ func Open(opts Options) (*Store, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	policy, err := ParseSyncPolicy(string(opts.Sync))
+	if err != nil {
+		return nil, err
+	}
+	opts.Sync = policy
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
 	s := &Store{opts: opts, seed: maphash.MakeSeed()}
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
@@ -134,6 +288,10 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: creating dir: %w", err)
 	}
+	// Temp files are crash debris from an interrupted Compact; both sides
+	// of their renames are covered by snapshot+WAL, so they are dead weight.
+	os.Remove(filepath.Join(opts.Dir, snapshotName+".tmp"))
+	os.Remove(filepath.Join(opts.Dir, walName+".tmp"))
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -141,8 +299,59 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: opening WAL: %w", err)
 	}
+	fi, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("kvstore: sizing WAL: %w", err)
+	}
 	s.wal = wal
+	s.walSize = fi.Size()
+	if opts.Sync == SyncInterval {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flusher()
+	}
 	return s, nil
+}
+
+// flusher is the group-commit loop: every SyncInterval it fsyncs whatever
+// appends accumulated since the last flush, amortizing one fsync over the
+// whole batch.
+func (s *Store) flusher() {
+	defer close(s.flushDone)
+	ticker := time.NewTicker(s.opts.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.walMu.Lock()
+			if !s.closed && s.wal != nil {
+				_ = s.syncLocked() // failed flushes retry next tick; dirty stays set
+			}
+			s.walMu.Unlock()
+		case <-s.flushStop:
+			return
+		}
+	}
+}
+
+// syncLocked fsyncs the WAL and records fsync latency and batch size.
+// Callers hold walMu.
+func (s *Store) syncLocked() error {
+	if s.dirty == 0 {
+		return nil
+	}
+	batch := s.dirty
+	start := time.Now()
+	err := s.wal.Sync()
+	s.ops.fsyncs.Add(1)
+	s.ops.fsyncNanos.Add(uint64(time.Since(start)))
+	if err != nil {
+		return fmt.Errorf("kvstore: syncing WAL: %w", err)
+	}
+	s.ops.fsyncBatchRecords.Add(uint64(batch))
+	s.dirty = 0
+	return nil
 }
 
 func (s *Store) shardFor(key string) *shard {
@@ -152,16 +361,23 @@ func (s *Store) shardFor(key string) *shard {
 	return s.shards[h.Sum64()&uint64(len(s.shards)-1)]
 }
 
-// Put stores value under key, resetting its TTL.
+// Put stores value under key, resetting its TTL. With SyncAlways a nil
+// return means the write is on disk; with SyncInterval it becomes durable
+// within one group-commit interval.
 func (s *Store) Put(key string, value []byte) error {
 	now := s.opts.Now().UnixNano()
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.commitMu.RLock()
+	defer s.commitMu.RUnlock()
 	if err := s.appendWAL(opPut, key, value, now); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FailMemtablePublish); err != nil {
 		return err
 	}
 	s.ops.puts.Add(1)
 	sh := s.shardFor(key)
-	v := make([]byte, len(value))
-	copy(v, value)
 	sh.mu.Lock()
 	sh.m[key] = entry{value: v, lastAccess: now}
 	sh.mu.Unlock()
@@ -199,7 +415,12 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // Delete removes key. Deleting a missing key is not an error.
 func (s *Store) Delete(key string) error {
 	now := s.opts.Now().UnixNano()
+	s.commitMu.RLock()
+	defer s.commitMu.RUnlock()
 	if err := s.appendWAL(opDelete, key, nil, now); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FailMemtablePublish); err != nil {
 		return err
 	}
 	s.ops.deletes.Add(1)
@@ -249,6 +470,8 @@ func (s *Store) Sweep() int {
 	return removed
 }
 
+// appendWAL writes one record and, under SyncAlways, fsyncs it. Callers
+// hold the shared side of commitMu.
 func (s *Store) appendWAL(op byte, key string, value []byte, now int64) error {
 	if s.opts.Dir == "" {
 		return nil
@@ -259,11 +482,27 @@ func (s *Store) appendWAL(op byte, key string, value []byte, now int64) error {
 	if s.closed {
 		return ErrClosed
 	}
-	_, err := s.wal.Write(rec)
-	if err != nil {
+	if err := failpoint.Inject(FailWALAppend); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FailWALAppendPartial); err != nil {
+		s.wal.Write(rec[:len(rec)/2]) // the torn tail a mid-write crash leaves
+		return err
+	}
+	if _, err := s.wal.Write(rec); err != nil {
 		return fmt.Errorf("kvstore: appending WAL: %w", err)
 	}
+	s.walSize += int64(len(rec))
+	s.dirty++
 	s.ops.walBytes.Add(uint64(len(rec)))
+	if s.opts.Sync == SyncAlways {
+		if err := failpoint.Inject(FailWALSync); err != nil {
+			return err
+		}
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -285,7 +524,10 @@ func encodeRecord(op byte, key string, value []byte, now int64) []byte {
 
 // recover loads the snapshot (if any) and replays the WAL. A torn or corrupt
 // WAL tail (the expected crash artifact) truncates replay at the first bad
-// record rather than failing recovery.
+// record rather than failing recovery; the same applies to a record with an
+// unknown opcode (written by a future version), counted in Metrics. The
+// unreplayable tail is then physically truncated so that post-recovery
+// appends land at an offset future recoveries can reach.
 func (s *Store) recover() error {
 	if err := s.loadSnapshot(); err != nil {
 		return err
@@ -298,13 +540,13 @@ func (s *Store) recover() error {
 	if err != nil {
 		return fmt.Errorf("kvstore: opening WAL for recovery: %w", err)
 	}
-	defer f.Close()
-
 	data, err := io.ReadAll(f)
+	f.Close()
 	if err != nil {
 		return fmt.Errorf("kvstore: reading WAL: %w", err)
 	}
 	off := 0
+replay:
 	for off < len(data) {
 		rest := data[off:]
 		if len(rest) < 17 {
@@ -334,15 +576,24 @@ func (s *Store) recover() error {
 			delete(sh.m, key)
 		default:
 			// Unknown op with a valid CRC: written by a future version.
-			// Stop replay conservatively.
-			off += total
-			return fmt.Errorf("kvstore: unknown WAL op %d", op)
+			// Stop replay conservatively, keeping the recovered prefix.
+			s.ops.unknownWALOps.Add(1)
+			break replay
 		}
 		off += total
+	}
+	if off < len(data) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return fmt.Errorf("kvstore: truncating WAL tail: %w", err)
+		}
 	}
 	return nil
 }
 
+// loadSnapshot reads the snapshot if present. A snapshot that fails
+// validation (bad magic, checksum mismatch from bit rot or a torn write,
+// malformed structure) is rejected and recovery falls back to WAL-only
+// replay rather than refusing to start; the event is counted in Metrics.
 func (s *Store) loadSnapshot() error {
 	path := filepath.Join(s.opts.Dir, snapshotName)
 	data, err := os.ReadFile(path)
@@ -352,73 +603,140 @@ func (s *Store) loadSnapshot() error {
 	if err != nil {
 		return fmt.Errorf("kvstore: reading snapshot: %w", err)
 	}
-	if len(data) < 8 {
-		return errors.New("kvstore: snapshot too short")
+	entries, ok := parseSnapshot(data)
+	if !ok {
+		s.ops.snapshotFallbacks.Add(1)
+		return nil
 	}
-	if binary.LittleEndian.Uint32(data) != snapshotMagic {
-		return errors.New("kvstore: snapshot has bad magic")
-	}
-	count := int(binary.LittleEndian.Uint32(data[4:]))
-	off := 8
-	for i := 0; i < count; i++ {
-		if len(data)-off < 16 {
-			return errors.New("kvstore: snapshot truncated")
-		}
-		ts := int64(binary.LittleEndian.Uint64(data[off:]))
-		klen := int(binary.LittleEndian.Uint32(data[off+8:]))
-		vlen := int(binary.LittleEndian.Uint32(data[off+12:]))
-		off += 16
-		if len(data)-off < klen+vlen {
-			return errors.New("kvstore: snapshot truncated")
-		}
-		key := string(data[off : off+klen])
-		v := make([]byte, vlen)
-		copy(v, data[off+klen:off+klen+vlen])
-		off += klen + vlen
-		sh := s.shardFor(key)
-		sh.m[key] = entry{value: v, lastAccess: ts}
+	for _, it := range entries {
+		sh := s.shardFor(it.key)
+		sh.m[it.key] = it.e
 	}
 	return nil
 }
 
-// Compact writes a snapshot of the live (unexpired) entries and truncates
-// the WAL. It blocks writers for the duration; the paper's workload compacts
-// during daily index rollover when traffic is low.
+// parseSnapshot validates and decodes a snapshot image into a staging slice
+// — nothing is installed unless the whole file checks out, so a corrupt
+// snapshot can never half-populate the memtable.
+func parseSnapshot(data []byte) ([]kvPair, bool) {
+	if len(data) < 12 {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data) != snapshotMagic {
+		return nil, false
+	}
+	crcWant := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != crcWant {
+		return nil, false
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	body := data[:len(data)-4]
+	off := 8
+	entries := make([]kvPair, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body)-off < 16 {
+			return nil, false
+		}
+		ts := int64(binary.LittleEndian.Uint64(body[off:]))
+		klen := int(binary.LittleEndian.Uint32(body[off+8:]))
+		vlen := int(binary.LittleEndian.Uint32(body[off+12:]))
+		off += 16
+		if klen < 0 || vlen < 0 || len(body)-off < klen+vlen {
+			return nil, false
+		}
+		key := string(body[off : off+klen])
+		v := make([]byte, vlen)
+		copy(v, body[off+klen:off+klen+vlen])
+		off += klen + vlen
+		entries = append(entries, kvPair{key: key, e: entry{value: v, lastAccess: ts}})
+	}
+	if off != len(body) {
+		return nil, false // trailing garbage under a forged checksum
+	}
+	return entries, true
+}
+
+// Compact writes a snapshot of the live (unexpired) entries and trims the
+// WAL to the records appended after the snapshot's cut. Writers are blocked
+// only while the cut is taken and while the trimmed WAL is swapped in — the
+// snapshot serialization itself runs off the write path. Every error path
+// leaves the store writable against its existing WAL.
 func (s *Store) Compact() error {
 	if s.opts.Dir == "" {
 		return nil
 	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Phase 1 — the cut: under the exclusive commit lock, no Put/Delete is
+	// between its WAL append and memtable publish, so the memtable copy
+	// covers exactly the WAL prefix [0, cut).
+	s.commitMu.Lock()
 	s.walMu.Lock()
-	defer s.walMu.Unlock()
 	if s.closed {
+		s.walMu.Unlock()
+		s.commitMu.Unlock()
 		return ErrClosed
 	}
+	cut := s.walSize
+	s.walMu.Unlock()
 	now := s.opts.Now()
-
-	type kv struct {
-		key string
-		e   entry
-	}
-	var live []kv
+	var live []kvPair
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for k, e := range sh.m {
 			if !s.expired(e, now) {
-				live = append(live, kv{k, e})
+				live = append(live, kvPair{key: k, e: e})
 			}
 		}
 		sh.mu.RUnlock()
 	}
+	s.commitMu.Unlock()
 
+	// Phase 2 — serialize and install the snapshot off the write path.
+	// Entry values are never mutated in place (Put stores fresh copies), so
+	// the captured slice is a consistent image.
 	tmp := filepath.Join(s.opts.Dir, snapshotName+".tmp")
-	f, err := os.Create(tmp)
+	if err := writeSnapshotFile(tmp, live); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FailCompactSnapshotRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotName)); err != nil {
+		return fmt.Errorf("kvstore: installing snapshot: %w", err)
+	}
+	if err := failpoint.Inject(FailCompactWALTrim); err != nil {
+		return err
+	}
+
+	// A crash anywhere before trimWAL completes leaves the full WAL next to
+	// the new snapshot; replaying records the snapshot already covers is
+	// idempotent (the last operation per key wins), so recovery stays exact.
+	return s.trimWAL(cut)
+}
+
+// writeSnapshotFile serializes entries to path with a whole-file CRC32
+// trailer and fsyncs it. Layout: magic(4) | count(4) | entries | crc(4),
+// each entry ts(8) | klen(4) | vlen(4) | key | value; the CRC covers
+// everything before it.
+func writeSnapshotFile(path string, live []kvPair) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("kvstore: creating snapshot: %w", err)
 	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(f)
+	w := io.MultiWriter(bw, crc)
 	header := make([]byte, 8)
 	binary.LittleEndian.PutUint32(header, snapshotMagic)
 	binary.LittleEndian.PutUint32(header[4:], uint32(len(live)))
-	if _, err := f.Write(header); err != nil {
+	if _, err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := failpoint.Inject(FailCompactSnapshotWrite); err != nil {
+		bw.Flush() // leave the partial temp file a crash would
 		f.Close()
 		return err
 	}
@@ -427,52 +745,122 @@ func (s *Store) Compact() error {
 		binary.LittleEndian.PutUint64(buf, uint64(item.e.lastAccess))
 		binary.LittleEndian.PutUint32(buf[8:], uint32(len(item.key)))
 		binary.LittleEndian.PutUint32(buf[12:], uint32(len(item.e.value)))
-		if _, err := f.Write(buf); err != nil {
+		if _, err := w.Write(buf); err != nil {
 			f.Close()
 			return err
 		}
-		if _, err := f.Write([]byte(item.key)); err != nil {
+		if _, err := io.WriteString(w, item.key); err != nil {
 			f.Close()
 			return err
 		}
-		if _, err := f.Write(item.e.value); err != nil {
+		if _, err := w.Write(item.e.value); err != nil {
 			f.Close()
 			return err
 		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := failpoint.Inject(FailCompactSnapshotSync); err != nil {
+		f.Close()
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotName)); err != nil {
-		return fmt.Errorf("kvstore: installing snapshot: %w", err)
-	}
-	// Truncate the WAL now that the snapshot covers its contents.
-	if err := s.wal.Close(); err != nil {
-		return err
-	}
-	wal, err := os.OpenFile(filepath.Join(s.opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("kvstore: reopening WAL: %w", err)
-	}
-	s.wal = wal
-	return nil
+	return f.Close()
 }
 
-// Close releases the WAL. Further writes return ErrClosed; reads continue to
-// work against the in-memory state.
-func (s *Store) Close() error {
+// trimWAL replaces the WAL with its suffix past cut (the records the
+// just-installed snapshot does not cover). The old WAL handle is kept open
+// and untouched until the swap has fully succeeded, so any failure leaves
+// the store writable with its complete WAL.
+func (s *Store) trimWAL(cut int64) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if s.closed {
+		return ErrClosed
+	}
+	walPath := filepath.Join(s.opts.Dir, walName)
+	tmpPath := walPath + ".tmp"
+	// The handle is opened before the rename so it tracks the inode across
+	// it — no window where the store could be left without a writable WAL.
+	h, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: creating trimmed WAL: %w", err)
+	}
+	err = func() error {
+		src, err := os.Open(walPath)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		want := s.walSize - cut
+		n, err := io.Copy(h, io.NewSectionReader(src, cut, want))
+		if err != nil {
+			return err
+		}
+		if n != want {
+			return fmt.Errorf("WAL suffix short read: %d of %d bytes", n, want)
+		}
+		return h.Sync()
+	}()
+	if err == nil {
+		err = failpoint.Inject(FailCompactWALSwapRename)
+	}
+	if err == nil {
+		err = os.Rename(tmpPath, walPath)
+	}
+	if err != nil {
+		h.Close()
+		return fmt.Errorf("kvstore: trimming WAL: %w", err)
+	}
+	if err := failpoint.Inject(FailCompactWALInstall); err != nil {
+		return err
+	}
+	old := s.wal
+	s.wal = h
+	s.walSize -= cut
+	s.dirty = 0 // the whole suffix was just fsynced
+	old.Close() // best-effort: its records are covered by snapshot + new WAL
+	return nil
+}
+
+// Close stops the group-commit flusher, performs a final sync (unless the
+// policy is SyncNever) and releases the WAL. Further writes return
+// ErrClosed; reads continue to work against the in-memory state.
+func (s *Store) Close() error {
+	s.commitMu.Lock()
+	s.walMu.Lock()
+	if s.closed {
+		s.walMu.Unlock()
+		s.commitMu.Unlock()
 		return nil
 	}
 	s.closed = true
-	if s.wal != nil {
-		return s.wal.Close()
+	s.walMu.Unlock()
+	s.commitMu.Unlock()
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
 	}
-	return nil
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if s.opts.Sync != SyncNever {
+		_ = s.syncLocked()
+	}
+	return s.wal.Close()
 }

@@ -283,23 +283,208 @@ func TestCompactAndRecover(t *testing.T) {
 
 func TestSnapshotBadMagic(t *testing.T) {
 	dir := t.TempDir()
-	os.WriteFile(filepath.Join(dir, snapshotName), []byte("garbagex"), 0o644)
-	if _, err := Open(Options{Dir: dir}); err == nil {
-		t.Error("expected error for corrupt snapshot")
+	os.WriteFile(filepath.Join(dir, snapshotName), []byte("garbagexxxxxconclusively-not-a-snapshot"), 0o644)
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("corrupt snapshot must fall back to WAL-only recovery, got %v", err)
+	}
+	defer s.Close()
+	if got := s.Metrics().SnapshotFallbacks; got != 1 {
+		t.Errorf("SnapshotFallbacks = %d, want 1", got)
 	}
 }
 
-func TestSnapshotTruncated(t *testing.T) {
+// TestSnapshotCorruptionFallsBack: any truncation or bit flip in the
+// snapshot is rejected by the whole-file CRC and recovery proceeds from the
+// WAL alone — the compacted prefix is lost, but the store starts and every
+// post-compaction write survives.
+func TestSnapshotCorruptionFallsBack(t *testing.T) {
+	build := func(t *testing.T) (string, []byte) {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Put("compacted", bytes.Repeat([]byte("v"), 100))
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		s.Put("after", []byte("wal-only"))
+		s.Close()
+		data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, data
+	}
+
+	check := func(t *testing.T, dir string, corrupted []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, snapshotName), corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("corrupt snapshot failed Open: %v", err)
+		}
+		defer s.Close()
+		if got := s.Metrics().SnapshotFallbacks; got != 1 {
+			t.Errorf("SnapshotFallbacks = %d, want 1", got)
+		}
+		if _, ok := s.Get("compacted"); ok {
+			t.Error("entry from the rejected snapshot survived")
+		}
+		if v, _ := s.Get("after"); !bytes.Equal(v, []byte("wal-only")) {
+			t.Errorf("WAL entry lost in fallback: %q", v)
+		}
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		dir, data := build(t)
+		check(t, dir, data[:len(data)-10])
+	})
+	t.Run("bitflip-body", func(t *testing.T) {
+		dir, data := build(t)
+		data[len(data)/2] ^= 0x40
+		check(t, dir, data)
+	})
+	t.Run("bitflip-crc", func(t *testing.T) {
+		dir, data := build(t)
+		data[len(data)-1] ^= 0x01
+		check(t, dir, data)
+	})
+}
+
+func TestSnapshotIntactRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(Options{Dir: dir})
-	s.Put("key-with-some-length", bytes.Repeat([]byte("v"), 100))
-	s.Compact()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
 	s.Close()
-	snapPath := filepath.Join(dir, snapshotName)
-	data, _ := os.ReadFile(snapPath)
-	os.WriteFile(snapPath, data[:len(data)-10], 0o644)
-	if _, err := Open(Options{Dir: dir}); err == nil {
-		t.Error("expected error for truncated snapshot")
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Metrics().SnapshotFallbacks; got != 0 {
+		t.Errorf("valid snapshot counted as fallback: %d", got)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("Len = %d after snapshot recovery, want 2", s2.Len())
+	}
+}
+
+// TestWALUnknownOpKeepsPrefix: a valid-CRC record with an unrecognized
+// opcode stops replay at that offset, keeps the recovered prefix, counts the
+// event, and keeps the store writable.
+func TestWALUnknownOpKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Options{Dir: dir})
+	s.Put("before", []byte("kept"))
+	s.Close()
+
+	// Append a future-version record (op 99) with a valid CRC, then a
+	// normal record after it that replay must not reach.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(encodeRecord(99, "future", []byte("op"), 1))
+	f.Write(encodeRecord(opPut, "unreachable", []byte("x"), 2))
+	f.Close()
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("unknown WAL op must not fail Open: %v", err)
+	}
+	defer s2.Close()
+	if v, _ := s2.Get("before"); !bytes.Equal(v, []byte("kept")) {
+		t.Errorf("prefix lost: before = %q", v)
+	}
+	if _, ok := s2.Get("unreachable"); ok {
+		t.Error("replay continued past the unknown op")
+	}
+	if got := s2.Metrics().UnknownWALOps; got != 1 {
+		t.Errorf("UnknownWALOps = %d, want 1", got)
+	}
+	// The unreplayable tail was truncated, so new writes land at a
+	// reachable offset for the next recovery.
+	if err := s2.Put("new", []byte("write")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if v, _ := s3.Get("new"); !bytes.Equal(v, []byte("write")) {
+		t.Errorf("post-truncation write unreachable: %q", v)
+	}
+}
+
+func TestSyncAlwaysFsyncsEveryWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.Fsyncs != 5 {
+		t.Errorf("Fsyncs = %d, want 5", m.Fsyncs)
+	}
+	if m.FsyncBatchRecords != 5 {
+		t.Errorf("FsyncBatchRecords = %d, want 5", m.FsyncBatchRecords)
+	}
+}
+
+func TestSyncIntervalGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Sync: SyncInterval, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := s.Metrics(); m.FsyncBatchRecords == 20 {
+			if m.Fsyncs == 0 {
+				t.Fatal("batch records counted without an fsync")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("flusher never covered all appends: %+v", s.Metrics())
+}
+
+func TestSyncPolicyValidation(t *testing.T) {
+	if _, err := Open(Options{Sync: "sometimes"}); err == nil {
+		t.Error("bogus sync policy accepted")
+	}
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever, ""} {
+		s, err := Open(Options{Sync: p})
+		if err != nil {
+			t.Errorf("policy %q rejected: %v", p, err)
+			continue
+		}
+		s.Close()
 	}
 }
 

@@ -12,6 +12,16 @@ import (
 	"serenade/internal/sessions"
 )
 
+// IdempotencyKeyHeader names the header carrying a client-chosen key that
+// identifies one logical recommendation request across retries. The server
+// retains the response for each key (Config.IdempotencyTTL) and replays it
+// for duplicates instead of appending the click to the session again.
+const IdempotencyKeyHeader = "X-Idempotency-Key"
+
+// IdempotencyReplayHeader is set to "true" on responses served from the
+// idempotency table rather than freshly computed.
+const IdempotencyReplayHeader = "X-Idempotency-Replay"
+
 // Handler exposes the server as the REST application of §4.2:
 //
 //	POST /v1/recommend            body: {"session_id","item_id","consent"}
@@ -171,13 +181,37 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Requ
 		s.tracer.Finish(sp)
 		return
 	}
+	// Duplicate delivery of a request that already landed (client retry
+	// after a lost response): replay the stored response; the click must
+	// not be appended to the evolving session a second time.
+	idem := r.Header.Get(IdempotencyKeyHeader)
+	if body, ok := s.replayIdempotent(idem); ok {
+		s.idemReplays.Inc()
+		w.Header().Set(IdempotencyReplayHeader, "true")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		sp.Cut(obs.StageEncode)
+		s.observeSpan(sp, nil)
+		return
+	}
 	resp, err := s.recommend(req, sp)
 	if err != nil {
 		s.observeSpan(sp, err)
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.observeSpan(sp, err)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Record before responding, so a retry racing the response sees it.
+	s.storeIdempotent(idem, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 	sp.Cut(obs.StageEncode)
 	s.observeSpan(sp, nil)
 }

@@ -1,0 +1,111 @@
+package serving
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postRecommend(t *testing.T, h http.Handler, sessionKey, idemKey string, item int) *httptest.ResponseRecorder {
+	t.Helper()
+	body := fmt.Sprintf(`{"session_id":%q,"item_id":%d,"consent":true}`, sessionKey, item)
+	req := httptest.NewRequest(http.MethodPost, "/v1/recommend", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set(IdempotencyKeyHeader, idemKey)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/recommend = %d: %s", rec.Code, rec.Body.String())
+	}
+	return rec
+}
+
+// TestIdempotencyKeyDeduplicates: a second delivery of the same logical
+// request (same key) must replay the stored response byte-for-byte, mark it
+// as a replay, and leave the session with a single click.
+func TestIdempotencyKeyDeduplicates(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	first := postRecommend(t, h, "dup", "key-1", 0)
+	if first.Header().Get(IdempotencyReplayHeader) != "" {
+		t.Error("fresh request marked as replay")
+	}
+	second := postRecommend(t, h, "dup", "key-1", 0)
+	if second.Header().Get(IdempotencyReplayHeader) != "true" {
+		t.Error("duplicate delivery not marked as replay")
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Errorf("replayed body differs:\n%s\n%s", first.Body.String(), second.Body.String())
+	}
+	if state, _ := s.SessionState("dup"); len(state) != 1 {
+		t.Errorf("session has %d clicks after a duplicate delivery, want 1", len(state))
+	}
+}
+
+// TestIdempotencyDistinctKeysAppend: distinct keys are distinct logical
+// clicks and must both land in the session.
+func TestIdempotencyDistinctKeysAppend(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	postRecommend(t, h, "u", "key-a", 0)
+	rec := postRecommend(t, h, "u", "key-b", 1)
+	if rec.Header().Get(IdempotencyReplayHeader) != "" {
+		t.Error("distinct key answered as replay")
+	}
+	if state, _ := s.SessionState("u"); len(state) != 2 {
+		t.Errorf("session has %d clicks, want 2", len(state))
+	}
+}
+
+// TestIdempotencyWithoutKey: requests without the header are never
+// deduplicated — each delivery appends.
+func TestIdempotencyWithoutKey(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+
+	postRecommend(t, h, "nokey", "", 0)
+	postRecommend(t, h, "nokey", "", 0)
+	if state, _ := s.SessionState("nokey"); len(state) != 2 {
+		t.Errorf("session has %d clicks, want 2 (no key, no dedupe)", len(state))
+	}
+}
+
+// TestIdempotencyDisabled: a negative TTL turns the table off entirely;
+// duplicate deliveries reprocess (the pre-dedupe behaviour).
+func TestIdempotencyDisabled(t *testing.T) {
+	s := testServer(t, Config{IdempotencyTTL: -1})
+	h := s.Handler()
+
+	postRecommend(t, h, "off", "key-1", 0)
+	rec := postRecommend(t, h, "off", "key-1", 0)
+	if rec.Header().Get(IdempotencyReplayHeader) != "" {
+		t.Error("replay served with deduplication disabled")
+	}
+	if state, _ := s.SessionState("off"); len(state) != 2 {
+		t.Errorf("session has %d clicks, want 2 with dedupe disabled", len(state))
+	}
+}
+
+// TestIdempotencyEntryExpires: after the TTL the key is forgotten and the
+// same delivery reprocesses — the table is a bounded retry window, not a
+// permanent log.
+func TestIdempotencyEntryExpires(t *testing.T) {
+	clk := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := testServer(t, Config{Now: clk.Now, IdempotencyTTL: time.Minute})
+	h := s.Handler()
+
+	postRecommend(t, h, "exp", "key-1", 0)
+	clk.Advance(2 * time.Minute)
+	rec := postRecommend(t, h, "exp", "key-1", 1)
+	if rec.Header().Get(IdempotencyReplayHeader) != "" {
+		t.Error("expired idempotency key still replayed")
+	}
+}

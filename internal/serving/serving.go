@@ -41,6 +41,16 @@ const DefaultSessionTTL = 30 * time.Minute
 // most recent items influence predictions, so older clicks are dropped.
 const maxStoredSessionLength = 50
 
+// DefaultIdempotencyTTL is how long a request's response is retained for
+// duplicate suppression when Config.IdempotencyTTL is zero — comfortably
+// past any client timeout+retry window.
+const DefaultIdempotencyTTL = 2 * time.Minute
+
+// maxDedupeEntries bounds the idempotency table; past it the server sweeps
+// expired entries and, if still full, stops recording new keys (fail open:
+// a duplicate may then reprocess, which is the pre-dedupe behaviour).
+const maxDedupeEntries = 1 << 16
+
 // Config parameterises a Server.
 type Config struct {
 	// Params are the VMIS-kNN hyperparameters (production: m=500, k=500).
@@ -58,6 +68,18 @@ type Config struct {
 	SessionTTL time.Duration
 	// StoreDir enables durable session storage when non-empty.
 	StoreDir string
+	// WALSync is the session store's WAL fsync policy; empty means
+	// kvstore.SyncInterval (group commit). Only meaningful with StoreDir.
+	WALSync kvstore.SyncPolicy
+	// WALSyncInterval is the group-commit flush period for
+	// kvstore.SyncInterval; zero means kvstore.DefaultSyncInterval.
+	WALSyncInterval time.Duration
+	// IdempotencyTTL is how long responses are retained for duplicate
+	// suppression via the X-Idempotency-Key header: a retried request whose
+	// first attempt already landed replays the stored response instead of
+	// appending the click to the session again. Zero means
+	// DefaultIdempotencyTTL; negative disables deduplication.
+	IdempotencyTTL time.Duration
 	// Catalog supplies the business-rule item flags; nil disables
 	// catalog-based filtering.
 	Catalog *Catalog
@@ -98,6 +120,10 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	store *kvstore.Store
+	// dedupe maps idempotency keys to already-sent response bodies (a
+	// memory-only TTL'd kvstore). It suppresses the double-append a client
+	// retry causes when the first attempt landed but its response was lost.
+	dedupe *kvstore.Store
 	// active holds the current index generation: the index plus a pool of
 	// recommenders bound to it. Swapped wholesale on index rollover.
 	active atomic.Pointer[indexGeneration]
@@ -109,12 +135,13 @@ type Server struct {
 	stages   [obs.NumStages]*metrics.StripedHistogram
 	tracer   *obs.Tracer
 	reg      *obs.Registry
-	errors   *obs.Counter
-	errStore *obs.Counter
-	errInput *obs.Counter
-	padded   *obs.Counter
-	depers   *obs.Counter
-	swaps    atomic.Uint64
+	errors      *obs.Counter
+	errStore    *obs.Counter
+	errInput    *obs.Counter
+	padded      *obs.Counter
+	depers      *obs.Counter
+	idemReplays *obs.Counter
+	swaps       atomic.Uint64
 }
 
 // indexGeneration ties a recommender pool to the index it queries, so a
@@ -183,16 +210,33 @@ func NewServer(idx *core.Index, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
 	store, err := kvstore.Open(kvstore.Options{
-		Dir: cfg.StoreDir,
-		TTL: cfg.SessionTTL,
-		Now: cfg.Now,
+		Dir:          cfg.StoreDir,
+		TTL:          cfg.SessionTTL,
+		Sync:         cfg.WALSync,
+		SyncInterval: cfg.WALSyncInterval,
+		Now:          cfg.Now,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serving: opening session store: %w", err)
 	}
+	var dedupe *kvstore.Store
+	if cfg.IdempotencyTTL >= 0 {
+		ttl := cfg.IdempotencyTTL
+		if ttl == 0 {
+			ttl = DefaultIdempotencyTTL
+		}
+		// Memory-only: after a restart the sessions the keys guard are in
+		// the same boat as the dedupe state, so persisting it buys nothing.
+		dedupe, err = kvstore.Open(kvstore.Options{TTL: ttl, Now: cfg.Now})
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("serving: opening idempotency table: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		store:    store,
+		dedupe:   dedupe,
 		requests: metrics.NewStripedHistogram(),
 	}
 	for i := range s.stages {
@@ -226,6 +270,7 @@ func (s *Server) buildRegistry() {
 	s.errInput = r.Counter("serenade_errors_by_class_total", "Failed requests by error class.", "class", "bad_request")
 	s.padded = r.Counter("serenade_fallback_padded_total", "Responses padded with popularity fallback items.")
 	s.depers = r.Counter("serenade_depersonalised_total", "Requests served without consent (history discarded).")
+	s.idemReplays = r.Counter("serenade_idempotent_replays_total", "Duplicate requests answered from the idempotency table without reprocessing.")
 
 	r.CounterFunc("serenade_requests_total", "Recommendation requests served.",
 		func() float64 { return float64(s.requests.Count()) })
@@ -253,9 +298,19 @@ func (s *Server) buildRegistry() {
 		{"serenade_store_deletes_total", "Session-store deletes.", func(m kvstore.Metrics) uint64 { return m.Deletes }},
 		{"serenade_store_evictions_total", "Session entries dropped by TTL expiry.", func(m kvstore.Metrics) uint64 { return m.Evictions }},
 		{"serenade_store_wal_bytes_total", "Bytes appended to the session-store WAL.", func(m kvstore.Metrics) uint64 { return m.WALBytes }},
+		{"serenade_store_fsyncs_total", "Session-store WAL fsync calls.", func(m kvstore.Metrics) uint64 { return m.Fsyncs }},
+		{"serenade_store_fsync_batch_records_total", "WAL records made durable by group-commit fsyncs (ratio to fsyncs = mean batch size).", func(m kvstore.Metrics) uint64 { return m.FsyncBatchRecords }},
+		{"serenade_store_unknown_wal_ops_total", "WAL replay stops at records with an unrecognized opcode.", func(m kvstore.Metrics) uint64 { return m.UnknownWALOps }},
+		{"serenade_store_snapshot_fallbacks_total", "Recoveries that rejected a corrupt snapshot and replayed the WAL alone.", func(m kvstore.Metrics) uint64 { return m.SnapshotFallbacks }},
 	} {
 		read := c.read
 		r.CounterFunc(c.name, c.help, func() float64 { return float64(read(s.store.Metrics())) })
+	}
+	r.CounterFunc("serenade_store_fsync_seconds_total", "Total time spent in WAL fsyncs (ratio to fsyncs = mean fsync latency).",
+		func() float64 { return float64(s.store.Metrics().FsyncNanos) / 1e9 })
+	if s.dedupe != nil {
+		r.GaugeFunc("serenade_idempotency_entries", "Responses currently retained for duplicate suppression.",
+			func() float64 { return float64(s.dedupe.Len()) })
 	}
 
 	r.Histogram("serenade_request_latency_seconds", "End-to-end request latency.", s.requests)
@@ -294,8 +349,38 @@ func (s *Server) SwapIndex(idx *core.Index) error {
 // Index returns the currently active index.
 func (s *Server) Index() *core.Index { return s.active.Load().idx }
 
-// Close releases the session store.
-func (s *Server) Close() error { return s.store.Close() }
+// Close releases the session store and the idempotency table.
+func (s *Server) Close() error {
+	if s.dedupe != nil {
+		s.dedupe.Close()
+	}
+	return s.store.Close()
+}
+
+// replayIdempotent returns the stored response body for an idempotency key
+// seen before (within the TTL), if any.
+func (s *Server) replayIdempotent(key string) ([]byte, bool) {
+	if key == "" || s.dedupe == nil {
+		return nil, false
+	}
+	return s.dedupe.Get(key)
+}
+
+// storeIdempotent records a successful response body under its idempotency
+// key so a duplicate delivery of the same logical request replays it
+// instead of appending the click again.
+func (s *Server) storeIdempotent(key string, body []byte) {
+	if key == "" || s.dedupe == nil {
+		return
+	}
+	if s.dedupe.Len() >= maxDedupeEntries {
+		s.dedupe.Sweep()
+		if s.dedupe.Len() >= maxDedupeEntries {
+			return // fail open rather than grow without bound
+		}
+	}
+	_ = s.dedupe.Put(key, body)
+}
 
 // Request is one session update + recommendation request from the frontend.
 type Request struct {
@@ -493,8 +578,14 @@ func (s *Server) SessionState(key string) ([]sessions.ItemID, bool) {
 }
 
 // SweepSessions evicts expired session state, mirroring the 30-minute
-// RocksDB TTL; serving machines call it periodically.
-func (s *Server) SweepSessions() int { return s.store.Sweep() }
+// RocksDB TTL; serving machines call it periodically. Expired idempotency
+// entries ride along.
+func (s *Server) SweepSessions() int {
+	if s.dedupe != nil {
+		s.dedupe.Sweep()
+	}
+	return s.store.Sweep()
+}
 
 // LatencyHistogram returns a snapshot of the server-side request latency
 // distribution. (It is a merged copy of the striped recording state: safe

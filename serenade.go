@@ -26,6 +26,7 @@ import (
 	"serenade/internal/dataflow"
 	"serenade/internal/incremental"
 	"serenade/internal/index"
+	"serenade/internal/kvstore"
 	"serenade/internal/legacy"
 	"serenade/internal/metrics"
 	"serenade/internal/serving"
@@ -82,7 +83,26 @@ type (
 	Catalog = serving.Catalog
 	// Pool is a set of stateful replicas behind sticky-session routing.
 	Pool = cluster.Pool
+	// WALSyncPolicy selects when the durable session store fsyncs its
+	// write-ahead log (ServerConfig.WALSync).
+	WALSyncPolicy = kvstore.SyncPolicy
 )
+
+// WAL sync policies, ordered from most to least durable.
+const (
+	// WALSyncAlways fsyncs every write before acknowledging it; no
+	// acknowledged click can be lost to a crash.
+	WALSyncAlways = kvstore.SyncAlways
+	// WALSyncInterval group-commits on a short timer (the default): one
+	// fsync covers every write in the window, bounding loss to that window.
+	WALSyncInterval = kvstore.SyncInterval
+	// WALSyncNever leaves flushing to the operating system.
+	WALSyncNever = kvstore.SyncNever
+)
+
+// ParseWALSyncPolicy parses a -wal-sync flag value ("always", "interval" or
+// "never"; empty means interval).
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return kvstore.ParseSyncPolicy(s) }
 
 // DatasetConfig parameterises synthetic dataset generation.
 type DatasetConfig = synth.Config
