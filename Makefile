@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench kernel-bench
+.PHONY: verify build vet test race bench kernel-bench index-bench fuzz-replay
 
 verify: build vet test race
 
@@ -28,3 +28,11 @@ bench:
 # Hot-path scoring kernel vs the retained map-based reference.
 kernel-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRecommend|BenchmarkNeighborSessions' -benchmem ./internal/core
+
+# Index load cost: v1 streaming decode vs v2 mmap zero-copy (EXPERIMENTS E13).
+index-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadFile|BenchmarkBuild' -benchmem ./internal/index ./internal/core
+
+# Replay the loader fuzz seed corpus (both on-disk formats) without fuzzing.
+fuzz-replay:
+	$(GO) test -run 'Fuzz' ./internal/index

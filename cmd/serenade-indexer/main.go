@@ -27,6 +27,7 @@ func main() {
 		out      = flag.String("out", "index.srn", "output index path")
 		capacity = flag.Int("capacity", 1000, "posting-list capacity (max query-time m; 0 = unbounded)")
 		workers  = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
+		format   = flag.String("format", "v2", "on-disk format: v2 (mmap-able section layout) or v1 (compressed stream)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -49,9 +50,9 @@ func main() {
 		float64(idx.MemoryFootprint())/(1<<20),
 		phases.Mark("build").Round(time.Millisecond))
 
-	if err := serenade.SaveIndex(*out, idx); err != nil {
+	if err := serenade.SaveIndexFormat(*out, idx, *format); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s in %v\n", *out, phases.Mark("save").Round(time.Millisecond))
+	fmt.Printf("wrote %s (%s) in %v\n", *out, *format, phases.Mark("save").Round(time.Millisecond))
 	fmt.Printf("phases: %s\n", phases)
 }

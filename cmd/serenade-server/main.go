@@ -72,8 +72,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("loaded index: %d sessions, %d items in %v",
-		idx.NumSessions(), idx.NumItems(), time.Since(start).Round(time.Millisecond))
+	loadDur := time.Since(start)
+	heapBytes, mmapBytes := idx.MemoryBreakdown()
+	log.Printf("loaded index: %d sessions, %d items in %v (mmap=%v, heap=%.1f MB, mmap=%.1f MB)",
+		idx.NumSessions(), idx.NumItems(), loadDur.Round(time.Millisecond),
+		idx.Mapped(), float64(heapBytes)/(1<<20), float64(mmapBytes)/(1<<20))
 
 	var tracker *serenade.TrendingTracker
 	if *trendHL > 0 {
@@ -90,6 +93,7 @@ func main() {
 		IdempotencyTTL:     *idemTTL,
 		Catalog:            serenade.NewCatalog(),
 		FallbackToPopular:  *fallback,
+		OwnIndex:           true, // rollover munmaps the outgoing index once drained
 		Trending:           tracker,
 		SlowQueryThreshold: *slowQuery,
 		TraceRingSize:      *traceRing,
@@ -100,6 +104,33 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.RecordIndexLoad(loadDur)
+
+	// SIGHUP triggers the daily rollover without downtime: reload the index
+	// file (mmap for v2 — the new generation pages in on demand) and swap it
+	// under the in-flight traffic; the replaced mapping is released once its
+	// last request drains.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			t0 := time.Now()
+			next, err := serenade.LoadIndex(*indexPath)
+			if err != nil {
+				logger.Error("index reload failed", "path", *indexPath, "err", err)
+				continue
+			}
+			if err := srv.SwapIndex(next); err != nil {
+				next.Close()
+				logger.Error("index swap rejected", "err", err)
+				continue
+			}
+			d := time.Since(t0)
+			srv.RecordIndexLoad(d)
+			logger.Info("index rolled over", "sessions", next.NumSessions(),
+				"items", next.NumItems(), "mmap", next.Mapped(), "load", d.Round(time.Millisecond))
+		}
+	}()
 
 	// Periodic session expiry, mirroring the 30-minute RocksDB TTL.
 	sweepDone := make(chan struct{})

@@ -116,6 +116,21 @@ func BenchmarkRecommendMapReference(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildIndex measures the offline build: the epoch-stamped scratch
+// dedup and two-pass CSR scatter keep allocations to the arena arrays
+// themselves instead of one map + two slices per session/item.
+func BenchmarkBuildIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ds := randomDataset(rng, 20_000, 5_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(ds, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestRecommendSteadyStateZeroAlloc pins the kernel's headline property: a
 // steady-state query allocates nothing on the heap.
 func TestRecommendSteadyStateZeroAlloc(t *testing.T) {

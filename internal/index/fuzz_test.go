@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"serenade/internal/core"
@@ -34,6 +35,26 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("SRNIDX01garbage"))
 	f.Add([]byte{})
+
+	// v2 seeds: a valid section-table file, truncations that cut the header,
+	// the table, and a payload, a flipped payload byte, and a hostile table
+	// entry — the fuzzer mutates from here into overlap/bounds corner cases.
+	var buf2 bytes.Buffer
+	if err := SaveV2(&buf2, idx); err != nil {
+		f.Fatal(err)
+	}
+	valid2 := buf2.Bytes()
+	f.Add(valid2)
+	f.Add(valid2[:v2HeaderSize-1])
+	f.Add(valid2[:v2TableEnd/2])
+	f.Add(valid2[:len(valid2)-3])
+	flipped := append([]byte(nil), valid2...)
+	flipped[v2TableEnd+1] ^= 0x40
+	f.Add(flipped)
+	hostile := append([]byte(nil), valid2...)
+	binary.LittleEndian.PutUint64(hostile[v2HeaderSize+2*v2SectionSize+16:], 1<<60) // huge byteLen
+	f.Add(hostile)
+	f.Add([]byte("SRNIDX02garbage"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := Load(bytes.NewReader(data))

@@ -2,10 +2,13 @@ package index
 
 import (
 	"bytes"
+	"compress/flate"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"serenade/internal/core"
@@ -228,6 +231,36 @@ func TestLoadRejectsBitFlips(t *testing.T) {
 	}
 	if flipped == 0 {
 		t.Error("no corruption was exercised")
+	}
+}
+
+// TestV1ForgedCountsDoNotOverAllocate: a 30-byte file whose header claims
+// 2^31 sessions must fail without allocating anything like 2^31 elements —
+// the loader's arrays may only grow with bytes actually decoded. (Found by
+// FuzzLoad: the pre-fix loader eagerly allocated gigabytes from the claim.)
+func TestV1ForgedCountsDoNotOverAllocate(t *testing.T) {
+	var payload bytes.Buffer
+	fw, err := flate.NewWriter(&payload, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var varint [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{1<<31 - 1, 1<<31 - 1, 0} { // numSessions, numItems, capacity
+		n := binary.PutUvarint(varint[:], v)
+		fw.Write(varint[:n])
+	}
+	fw.Close()
+	data := append([]byte("SRNIDX01"), payload.Bytes()...)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<22 {
+		t.Errorf("forged header drove %d bytes of allocation, want well under 4MB", grew)
 	}
 }
 

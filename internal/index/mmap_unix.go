@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map index files read-only;
+// LoadFile falls back to a one-arena heap read elsewhere.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The mapping outlives the file
+// descriptor; release it with munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -8,22 +8,38 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"serenade/internal/core"
 	"serenade/internal/sessions"
 )
 
-// On-disk layout: an 8-byte magic header followed by a flate stream. The
+// Two on-disk formats coexist:
+//
+// v1 ("SRNIDX01"): an 8-byte magic header followed by a flate stream. The
 // uncompressed stream is varint-encoded: counts, delta-encoded session
 // timestamps, per-session item lists, and per-item posting lists stored as a
 // head value plus descending deltas (posting lists are sorted by descending
 // session id, so deltas are non-negative and small). A CRC-32 of the
 // uncompressed payload terminates the stream. This stands in for the
 // compressed Avro container the paper ships from the Spark job to the
-// serving pods.
+// serving pods. Loading necessarily decodes every varint, but the decoder
+// streams straight into the CSR arena, so allocations stay O(1) in the
+// posting count.
+//
+// v2 ("SRNIDX02", see serde_v2.go): a section-table header over raw
+// 8-byte-aligned little-endian arrays with per-section CRC-32s, laid out so
+// LoadFile can mmap(2) the file and reinterpret the sections in place —
+// daily index rollover becomes O(page-in) instead of O(decode+allocate).
 
 var magic = [8]byte{'S', 'R', 'N', 'I', 'D', 'X', '0', '1'}
+
+// Format names accepted by SaveFileFormat and the indexer's -format flag.
+const (
+	FormatV1 = "v1"
+	FormatV2 = "v2"
+)
 
 // ErrCorrupt is returned when an index file fails checksum or structural
 // validation.
@@ -39,7 +55,7 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 	return c.w.Write(p)
 }
 
-// Save serialises the index to w.
+// Save serialises the index to w in format v1.
 func Save(w io.Writer, idx *core.Index) error {
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
@@ -132,26 +148,42 @@ func Save(w io.Writer, idx *core.Index) error {
 type crcReader struct {
 	r   *bufio.Reader
 	crc uint32
+	// one reusable byte for Update: a literal []byte{b} would escape and
+	// cost one heap allocation per byte decoded.
+	one [1]byte
 }
 
 func (c *crcReader) ReadByte() (byte, error) {
 	b, err := c.r.ReadByte()
 	if err == nil {
-		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+		c.one[0] = b
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, c.one[:])
 	}
 	return b, err
 }
 
-// Load deserialises an index written by Save, validating the checksum and
-// the structural invariants.
+// Load deserialises an index written by Save (v1) or SaveV2 (v2),
+// dispatching on the magic header and validating checksums and structural
+// invariants. For file-backed zero-copy loading of v2 indexes use LoadFile.
 func Load(r io.Reader) (*core.Index, error) {
 	var head [8]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
-	if head != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	switch head {
+	case magic:
+		return loadV1(r)
+	case magicV2:
+		return loadV2Stream(r)
 	}
+	return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+}
+
+// loadV1 decodes a v1 stream (after its magic) straight into the CSR arena:
+// the variable-length collections append to two flat data arrays while the
+// offset arrays record the boundaries, so the decode performs O(1)
+// allocations in the posting count instead of one per list.
+func loadV1(r io.Reader) (*core.Index, error) {
 	cr := &crcReader{r: bufio.NewReaderSize(flate.NewReader(r), 1<<16)}
 	readUvarint := func() (uint64, error) { return binary.ReadUvarint(cr) }
 
@@ -173,52 +205,62 @@ func Load(r io.Reader) (*core.Index, error) {
 	}
 	numSessions, numItems, capacity := int(numSessions64), int(numItems64), int(capacity64)
 
-	times := make([]int64, numSessions)
+	// Claimed counts are only trusted after their elements actually decode:
+	// every array below grows by append (with a bounded capacity hint), so a
+	// forged header cannot drive a huge allocation — memory tracks bytes
+	// actually read. (A claimed 2^31 sessions would otherwise pre-allocate
+	// gigabytes from a 30-byte file; the loader fuzzer found exactly that.)
+	hint := func(n int) int { return min(n, 1<<16) }
+
+	times := make([]int64, 0, hint(numSessions))
 	prev := int64(0)
-	for i := range times {
+	for i := 0; i < numSessions; i++ {
 		d, err := readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("%w: timestamps: %v", ErrCorrupt, err)
 		}
 		prev += int64(d)
-		times[i] = prev
+		times = append(times, prev)
 	}
 
-	sessionItems := make([][]sessions.ItemID, numSessions)
-	for s := range sessionItems {
+	// Per-session item lists into the session-item arena.
+	sessionItemOffsets := append(make([]uint32, 0, hint(numSessions+1)), 0)
+	var sessionItemData []sessions.ItemID
+	for s := 0; s < numSessions; s++ {
 		count, err := readUvarint()
 		if err != nil || count > limit {
 			return nil, fmt.Errorf("%w: session items: %v", ErrCorrupt, err)
 		}
-		items := make([]sessions.ItemID, count)
-		for j := range items {
+		for j := uint64(0); j < count; j++ {
 			v, err := readUvarint()
 			if err != nil || v >= numItems64 {
 				return nil, fmt.Errorf("%w: session item id: %v", ErrCorrupt, err)
 			}
-			items[j] = sessions.ItemID(v)
+			sessionItemData = append(sessionItemData, sessions.ItemID(v))
 		}
-		sessionItems[s] = items
+		total := uint64(sessionItemOffsets[s]) + count
+		if total > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: session-item arena overflow", ErrCorrupt)
+		}
+		sessionItemOffsets = append(sessionItemOffsets, uint32(total))
 	}
 
-	postings := make([][]sessions.SessionID, numItems)
-	df := make([]int32, numItems)
-	for i := range postings {
+	// Per-item document frequency and posting list into the posting arena.
+	postingOffsets := append(make([]uint32, 0, hint(numItems+1)), 0)
+	var postingData []sessions.SessionID
+	df := make([]int32, 0, hint(numItems))
+	for i := 0; i < numItems; i++ {
 		f, err := readUvarint()
 		if err != nil || f > limit {
 			return nil, fmt.Errorf("%w: document frequency: %v", ErrCorrupt, err)
 		}
-		df[i] = int32(f)
+		df = append(df, int32(f))
 		count, err := readUvarint()
 		if err != nil || count > limit {
 			return nil, fmt.Errorf("%w: posting length: %v", ErrCorrupt, err)
 		}
-		if count == 0 {
-			continue
-		}
-		list := make([]sessions.SessionID, count)
 		cur := uint64(0)
-		for k := range list {
+		for k := uint64(0); k < count; k++ {
 			v, err := readUvarint()
 			if err != nil {
 				return nil, fmt.Errorf("%w: posting id: %v", ErrCorrupt, err)
@@ -234,9 +276,13 @@ func Load(r io.Reader) (*core.Index, error) {
 			if cur >= numSessions64 {
 				return nil, fmt.Errorf("%w: posting references unknown session", ErrCorrupt)
 			}
-			list[k] = sessions.SessionID(cur)
+			postingData = append(postingData, sessions.SessionID(cur))
 		}
-		postings[i] = list
+		total := uint64(postingOffsets[i]) + count
+		if total > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: posting arena overflow", ErrCorrupt)
+		}
+		postingOffsets = append(postingOffsets, uint32(total))
 	}
 
 	// Verify the trailer: the CRC accumulated so far, compared against the
@@ -259,15 +305,38 @@ func Load(r io.Reader) (*core.Index, error) {
 		return nil, fmt.Errorf("%w: stream does not end after checksum (%v)", ErrCorrupt, err)
 	}
 
-	idx, err := core.NewIndexFromParts(times, postings, sessionItems, df, capacity)
+	idx, err := core.NewIndexFromCSR(core.CSR{
+		Times:              times,
+		PostingOffsets:     postingOffsets,
+		PostingData:        postingData,
+		SessionItemOffsets: sessionItemOffsets,
+		SessionItemData:    sessionItemData,
+		DF:                 df,
+	}, capacity, core.Arena{})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return idx, nil
 }
 
-// SaveFile writes the index to path atomically (via a temporary file).
-func SaveFile(path string, idx *core.Index) (err error) {
+// SaveFile writes the index to path atomically (via a temporary file) in the
+// default format, v2.
+func SaveFile(path string, idx *core.Index) error {
+	return SaveFileFormat(path, idx, FormatV2)
+}
+
+// SaveFileFormat writes the index to path atomically in the requested
+// on-disk format ("v1" or "v2").
+func SaveFileFormat(path string, idx *core.Index, format string) (err error) {
+	var save func(io.Writer, *core.Index) error
+	switch format {
+	case FormatV1:
+		save = Save
+	case FormatV2, "":
+		save = SaveV2
+	default:
+		return fmt.Errorf("index: unknown format %q (want %q or %q)", format, FormatV1, FormatV2)
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -278,7 +347,7 @@ func SaveFile(path string, idx *core.Index) (err error) {
 			os.Remove(tmp)
 		}
 	}()
-	if err = Save(f, idx); err != nil {
+	if err = save(f, idx); err != nil {
 		f.Close()
 		return err
 	}
@@ -288,12 +357,55 @@ func SaveFile(path string, idx *core.Index) (err error) {
 	return os.Rename(tmp, path)
 }
 
-// LoadFile reads an index written by SaveFile.
+// LoadFile reads an index written by SaveFile. v2 files on little-endian
+// unix hosts are mmap(2)ed and reinterpreted in place — zero copies, O(1)
+// allocations — and the returned index holds the mapping until Close;
+// elsewhere, and for v1 files, the file is decoded into a heap-resident
+// arena and Close is a no-op.
 func LoadFile(path string) (*core.Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Load(f)
+	defer f.Close() // a successful mmap survives the descriptor's close
+
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+	}
+	if head == magic {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return Load(f)
+	}
+	if head != magicV2 {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+
+	if mmapSupported && hostLittleEndian && size == int64(int(size)) {
+		if data, merr := mmapFile(f, size); merr == nil {
+			idx, perr := parseV2(data, core.Arena{
+				Bytes:  size,
+				Mapped: true,
+				Close:  func() error { return munmapFile(data) },
+			})
+			if perr != nil {
+				munmapFile(data)
+				return nil, perr
+			}
+			return idx, nil
+		}
+		// mmap can fail on exotic filesystems; fall through to the copying
+		// path rather than refusing to serve.
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return loadV2Into(f, size)
 }

@@ -124,6 +124,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.SwapIndex(idx); err != nil {
+		idx.Close() // release the fresh mapping; nothing serves from it
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}

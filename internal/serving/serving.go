@@ -87,6 +87,12 @@ type Config struct {
 	// popular recommendable items, so the UI slot is always full even for
 	// cold sessions on rare items.
 	FallbackToPopular bool
+	// OwnIndex makes the server responsible for releasing index
+	// generations: an index replaced by SwapIndex (and the active one on
+	// Close) is closed — unmapping file-backed indexes — once its in-flight
+	// requests drain. Leave it false when the index is shared with other
+	// readers (e.g. cluster.Pool replicas over one index).
+	OwnIndex bool
 	// Trending, when non-nil, receives every click so the companion
 	// "new and trending" slot (§4.1) can serve items the daily index has
 	// not seen yet; it is exposed at GET /v1/trending.
@@ -142,10 +148,19 @@ type Server struct {
 	depers      *obs.Counter
 	idemReplays *obs.Counter
 	swaps       atomic.Uint64
+	// loadNanos is the duration of the most recent index load, reported by
+	// the embedding binary via RecordIndexLoad and exported as
+	// serenade_index_load_seconds.
+	loadNanos atomic.Int64
 }
 
 // indexGeneration ties a recommender pool to the index it queries, so a
-// request never mixes state across an index swap.
+// request never mixes state across an index swap. Generations are
+// reference-counted: a request acquires the active generation for its
+// duration, and a generation replaced by SwapIndex is retired — its index
+// closed (munmapped, for file-backed indexes) only after the last in-flight
+// request releases it, and only when the server owns the index
+// (Config.OwnIndex).
 type indexGeneration struct {
 	idx *core.Index
 	// popular ranks items by document frequency, the fallback order.
@@ -155,19 +170,67 @@ type indexGeneration struct {
 	// generation build so Stats and the metrics scrape never need to pull
 	// a recommender out of the pool.
 	recBytes int64
+
+	inflight atomic.Int64
+	retired  atomic.Bool
+	ownIdx   bool
 }
 
-func newGeneration(idx *core.Index, params core.Params, fallback bool) (*indexGeneration, error) {
+func newGeneration(idx *core.Index, params core.Params, fallback, own bool) (*indexGeneration, error) {
 	proto, err := core.NewRecommender(idx, params)
 	if err != nil {
 		return nil, err
 	}
-	g := &indexGeneration{idx: idx, recBytes: proto.MemoryFootprint()}
+	g := &indexGeneration{idx: idx, recBytes: proto.MemoryFootprint(), ownIdx: own}
 	g.pool.New = func() any { return proto.Clone() }
 	if fallback {
 		g.popular = popularItems(idx)
 	}
 	return g, nil
+}
+
+// acquireGen pins the active generation for the duration of a request: the
+// generation's index cannot be closed until the matching release. The
+// increment-then-recheck loop closes the race with a concurrent SwapIndex —
+// if the generation was replaced between the load and the increment, its
+// retirement may already have seen a zero count, so the acquisition is
+// abandoned and retried against the new active generation. (Touching the
+// generation struct itself is always safe: it is heap memory the GC keeps
+// alive; only the index's mapped arena has a manual lifetime.)
+func (s *Server) acquireGen() *indexGeneration {
+	for {
+		g := s.active.Load()
+		g.inflight.Add(1)
+		if s.active.Load() == g {
+			return g
+		}
+		g.release()
+	}
+}
+
+// release drops a request's pin; the last release of a retired generation
+// closes its index. Index.Close is idempotent, so the benign race where both
+// the releasing request and the retiring swap observe a drained generation
+// resolves to a single close.
+func (g *indexGeneration) release() {
+	if g.inflight.Add(-1) == 0 && g.retired.Load() {
+		g.drained()
+	}
+}
+
+// retire marks a generation as replaced; if no request holds it the index is
+// closed immediately, otherwise the last release closes it.
+func (g *indexGeneration) retire() {
+	g.retired.Store(true)
+	if g.inflight.Load() == 0 {
+		g.drained()
+	}
+}
+
+func (g *indexGeneration) drained() {
+	if g.ownIdx {
+		g.idx.Close()
+	}
 }
 
 // popularItems ranks the catalog by document frequency (most sessions
@@ -205,7 +268,7 @@ func NewServer(idx *core.Index, cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	gen, err := newGeneration(idx, cfg.Params, cfg.FallbackToPopular)
+	gen, err := newGeneration(idx, cfg.Params, cfg.FallbackToPopular, cfg.OwnIndex)
 	if err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
@@ -285,6 +348,12 @@ func (s *Server) buildRegistry() {
 		func() float64 { return float64(s.active.Load().idx.NumItems()) })
 	r.GaugeFunc("serenade_index_bytes", "Estimated footprint of the active immutable index.",
 		func() float64 { return float64(s.active.Load().idx.MemoryFootprint()) })
+	r.GaugeFunc("serenade_index_heap_bytes", "Heap-resident (GC-scanned) portion of the active index.",
+		func() float64 { heap, _ := s.active.Load().idx.MemoryBreakdown(); return float64(heap) })
+	r.GaugeFunc("serenade_index_mmap_bytes", "File-backed mmap portion of the active index (page cache, reclaimable).",
+		func() float64 { _, mapped := s.active.Load().idx.MemoryBreakdown(); return float64(mapped) })
+	r.GaugeFunc("serenade_index_load_seconds", "Duration of the most recent index load (startup or rollover).",
+		func() float64 { return float64(s.loadNanos.Load()) / 1e9 })
 	r.GaugeFunc("serenade_recommender_bytes", "Per-goroutine footprint of one pooled query kernel.",
 		func() float64 { return float64(s.active.Load().recBytes) })
 
@@ -335,26 +404,38 @@ func (s *Server) FlushSlowLog() { s.tracer.FlushSlowLog() }
 // SwapIndex atomically replaces the session similarity index — the daily
 // rollover after the offline job produces a fresh build. Evolving session
 // state is unaffected; requests already executing complete against the old
-// index.
+// index, which (when Config.OwnIndex is set) is closed — unmapping a
+// file-backed index — only once those requests drain.
 func (s *Server) SwapIndex(idx *core.Index) error {
-	gen, err := newGeneration(idx, s.cfg.Params, s.cfg.FallbackToPopular)
+	gen, err := newGeneration(idx, s.cfg.Params, s.cfg.FallbackToPopular, s.cfg.OwnIndex)
 	if err != nil {
 		return fmt.Errorf("serving: swapping index: %w", err)
 	}
-	s.active.Store(gen)
+	old := s.active.Swap(gen)
 	s.swaps.Add(1)
+	old.retire()
 	return nil
+}
+
+// RecordIndexLoad reports how long the most recent index load took (initial
+// startup load or a rollover reload), exported as
+// serenade_index_load_seconds.
+func (s *Server) RecordIndexLoad(d time.Duration) {
+	s.loadNanos.Store(int64(d))
 }
 
 // Index returns the currently active index.
 func (s *Server) Index() *core.Index { return s.active.Load().idx }
 
-// Close releases the session store and the idempotency table.
+// Close releases the session store, the idempotency table, and (when the
+// server owns its index, Config.OwnIndex) the active index generation.
 func (s *Server) Close() error {
 	if s.dedupe != nil {
 		s.dedupe.Close()
 	}
-	return s.store.Close()
+	err := s.store.Close()
+	s.active.Load().retire()
+	return err
 }
 
 // replayIdempotent returns the stored response body for an idempotency key
@@ -441,7 +522,8 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 		predictFrom = predictFrom[len(predictFrom)-s.cfg.HistoryLength:]
 	}
 
-	gen := s.active.Load()
+	gen := s.acquireGen()
+	defer gen.release()
 	rec := gen.pool.Get().(*core.Recommender)
 	// Over-fetch so that business-rule filtering can still fill the slot.
 	slot := 2*s.cfg.Recommendations + 1
@@ -544,7 +626,8 @@ func (s *Server) Explain(key string, item sessions.ItemID) (core.Explanation, bo
 	if s.cfg.HistoryLength > 0 && len(evolving) > s.cfg.HistoryLength {
 		evolving = evolving[len(evolving)-s.cfg.HistoryLength:]
 	}
-	gen := s.active.Load()
+	gen := s.acquireGen()
+	defer gen.release()
 	rec := gen.pool.Get().(*core.Recommender)
 	ex, ok := rec.Explain(evolving, item)
 	gen.pool.Put(rec)
@@ -613,12 +696,17 @@ type Stats struct {
 	IndexSessions  int           `json:"index_sessions"`
 	IndexItems     int           `json:"index_items"`
 	IndexSwaps     uint64        `json:"index_swaps"`
-	// IndexBytes is the estimated footprint of the shared immutable index;
+	// IndexBytes is the estimated footprint of the shared immutable index,
+	// split into IndexHeapBytes (GC-scanned heap) and IndexMmapBytes
+	// (file-backed pages of an mmap-loaded index — resident but
+	// reclaimable, and never scanned by the collector).
 	// RecommenderBytes is the per-goroutine footprint of one pooled query
 	// kernel (probe table, flat score array, heaps — O(M + numItems)).
 	// Capacity planning: total ≈ IndexBytes + pooled recommenders ×
 	// RecommenderBytes per pod.
 	IndexBytes       int64 `json:"index_bytes"`
+	IndexHeapBytes   int64 `json:"index_heap_bytes"`
+	IndexMmapBytes   int64 `json:"index_mmap_bytes"`
 	RecommenderBytes int64 `json:"recommender_bytes"`
 	// Stages breaks the request latency down by pipeline stage (stages
 	// with no observations are omitted), attributing tail latency to
@@ -629,6 +717,7 @@ type Stats struct {
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	gen := s.active.Load()
+	heapBytes, mmapBytes := gen.idx.MemoryBreakdown()
 	lat := s.requests.Snapshot()
 	st := Stats{
 		Requests:         lat.Count(),
@@ -641,7 +730,9 @@ func (s *Server) Stats() Stats {
 		IndexSessions:    gen.idx.NumSessions(),
 		IndexItems:       gen.idx.NumItems(),
 		IndexSwaps:       s.swaps.Load(),
-		IndexBytes:       gen.idx.MemoryFootprint(),
+		IndexBytes:       heapBytes + mmapBytes,
+		IndexHeapBytes:   heapBytes,
+		IndexMmapBytes:   mmapBytes,
 		RecommenderBytes: gen.recBytes,
 	}
 	for i := range s.stages {

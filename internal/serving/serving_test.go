@@ -348,6 +348,136 @@ func TestSwapIndexUnderLoad(t *testing.T) {
 	}
 }
 
+// TestSwapIndexDrainsMmapGenerations is the rollover safety proof for the
+// zero-copy index path: with Config.OwnIndex set, every generation replaced
+// under concurrent query load must end up closed (its mapping released) —
+// but only after its in-flight requests drain — while the active generation
+// is never closed. Run under -race this also exercises the
+// acquire/swap/retire memory ordering.
+func TestSwapIndexDrainsMmapGenerations(t *testing.T) {
+	ds, err := synth.Generate(synth.Small(88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.srn")
+	if err := index.SaveFileFormat(path, built, index.FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	load := func() *core.Index {
+		idx, err := index.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+
+	first := load()
+	s, err := NewServer(first, Config{
+		Params:   core.Params{M: 100, K: 50},
+		OwnIndex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Recommend(Request{
+					SessionKey: fmt.Sprintf("u%d", w),
+					Item:       sessions.ItemID(i % 400),
+					Consent:    true,
+				}); err != nil {
+					t.Errorf("request during swap failed: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Roll over repeatedly to fresh mappings of the same file while the
+	// queriers hammer the server.
+	var replaced []*core.Index
+	active := first
+	for i := 0; i < 12; i++ {
+		next := load()
+		if err := s.SwapIndex(next); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		replaced = append(replaced, active)
+		active = next
+	}
+	close(stop)
+	wg.Wait()
+
+	// With no requests in flight every retired generation must now be
+	// closed; the last release fires drained() synchronously, so a short
+	// grace loop is only paranoia against goroutine scheduling.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, old := range replaced {
+		for !old.Closed() {
+			if time.Now().After(deadline) {
+				t.Fatal("retired generation never closed after drain")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if active.Closed() {
+		t.Fatal("active generation was closed while serving")
+	}
+	// Still serving from the live mapping.
+	if _, err := s.Recommend(Request{SessionKey: "u", Item: 1, Consent: true}); err != nil {
+		t.Fatalf("serving after rollovers: %v", err)
+	}
+	// Server close retires the active generation too.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for !active.Closed() {
+		if time.Now().After(deadline) {
+			t.Fatal("active generation not closed by server Close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSwapIndexSharedIndexNotClosed: without OwnIndex the server must never
+// close a replaced index — cluster.Pool replicas share one index across
+// servers.
+func TestSwapIndexSharedIndexNotClosed(t *testing.T) {
+	shared := testIndex(t)
+	s, err := NewServer(shared, Config{Params: core.Params{M: 100, K: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testIndex(t)
+	if err := s.SwapIndex(other); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Closed() {
+		t.Error("server without OwnIndex closed a replaced shared index")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Closed() {
+		t.Error("server without OwnIndex closed the active shared index")
+	}
+}
+
 func TestNewServerRejectsBadParams(t *testing.T) {
 	if _, err := NewServer(testIndex(t), Config{Params: core.Params{M: 0, K: 5}}); err == nil {
 		t.Error("invalid params accepted")

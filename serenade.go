@@ -156,10 +156,23 @@ func BuildIndexParallel(ds *Dataset, capacity, workers int) (*Index, error) {
 	return index.Build(dataflow.NewEngine(workers), sessions.Renumber(ds), capacity)
 }
 
-// SaveIndex writes the index to path in the compressed binary format.
+// SaveIndex writes the index to path in the default on-disk format (v2: the
+// mmap-able CSR section format). Use SaveIndexFormat to write the v1
+// compressed stream instead.
 func SaveIndex(path string, idx *Index) error { return index.SaveFile(path, idx) }
 
-// LoadIndex reads an index written by SaveIndex, verifying its checksum.
+// SaveIndexFormat writes the index to path in the requested on-disk format:
+// "v1" is the flate-compressed varint stream, "v2" (the default) the
+// section-table format LoadIndex can map into memory without decoding.
+func SaveIndexFormat(path string, idx *Index, format string) error {
+	return index.SaveFileFormat(path, idx, format)
+}
+
+// LoadIndex reads an index written by SaveIndex, verifying its checksums.
+// v2 files are mmap(2)ed and served zero-copy straight from the page cache
+// where the platform supports it — check (*Index).Mapped — and such indexes
+// must be released with (*Index).Close once no reader can touch them
+// (ServerConfig.OwnIndex automates this for serving rollovers).
 func LoadIndex(path string) (*Index, error) { return index.LoadFile(path) }
 
 // New creates a VMIS-kNN recommender over a prebuilt index.
