@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench kernel-bench index-bench fuzz-replay
+.PHONY: verify build vet test race bench kernel-bench index-bench batch-bench fuzz-replay
 
 verify: build vet test race
 
@@ -22,7 +22,7 @@ race:
 	$(GO) test -race ./internal/core ./internal/serving ./internal/obs ./internal/metrics ./internal/cluster ./internal/kvstore ./client
 
 # All microbenchmarks, quick.
-bench:
+bench: batch-bench
 	$(GO) test -bench=. -benchmem .
 
 # Hot-path scoring kernel vs the retained map-based reference.
@@ -32,6 +32,13 @@ kernel-bench:
 # Index load cost: v1 streaming decode vs v2 mmap zero-copy (EXPERIMENTS E13).
 index-bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkLoadFile|BenchmarkBuild' -benchmem ./internal/index ./internal/core
+
+# Batched scoring (B=1..64, remap on/off) and the result-cache hot path,
+# committed as the versioned BENCH_batch.json artifact.
+batch-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchRecommend|BenchmarkRecommendCache|BenchmarkRecommendNoCache' -benchmem \
+		./internal/core ./internal/serving | $(GO) run ./tools/benchjson > BENCH_batch.json
+	@echo wrote BENCH_batch.json
 
 # Replay the loader fuzz seed corpus (both on-disk formats) without fuzzing.
 fuzz-replay:

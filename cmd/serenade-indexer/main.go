@@ -28,6 +28,7 @@ func main() {
 		capacity = flag.Int("capacity", 1000, "posting-list capacity (max query-time m; 0 = unbounded)")
 		workers  = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
 		format   = flag.String("format", "v2", "on-disk format: v2 (mmap-able section layout) or v1 (compressed stream)")
+		remap    = flag.Bool("remap", false, "store posting lists in popularity order (v2 only; hot items share pages)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -49,6 +50,19 @@ func main() {
 		idx.NumSessions(), idx.NumItems(),
 		float64(idx.MemoryFootprint())/(1<<20),
 		phases.Mark("build").Round(time.Millisecond))
+
+	if *remap {
+		// The v1 stream serialises through the logical accessors, which undoes
+		// the physical permutation — remap only survives the v2 section format.
+		if *format != serenade.IndexFormatV2 {
+			log.Fatalf("-remap requires -format %s (the v1 stream cannot carry the layout)", serenade.IndexFormatV2)
+		}
+		idx, err = idx.RemappedByPopularity()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("remapped postings by popularity in %v\n", phases.Mark("remap").Round(time.Millisecond))
+	}
 
 	if err := serenade.SaveIndexFormat(*out, idx, *format); err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"serenade/internal/sessions"
@@ -40,10 +41,17 @@ type Index struct {
 	capacity    int
 
 	times []int64
-	// postingOffsets has numItems+1 entries; item i's posting list is
-	// postingData[postingOffsets[i]:postingOffsets[i+1]].
+	// postingOffsets has numItems+1 entries; item i's posting list occupies
+	// the CSR row postingData[postingOffsets[r]:postingOffsets[r+1]] where
+	// r = postingRemap[i] (or r = i when postingRemap is nil). A
+	// popularity-ordered remap gives frequent items dense low rows, so the
+	// posting bytes hot queries touch cluster on a few pages instead of
+	// being scattered across the whole arena (see RemappedByPopularity).
 	postingOffsets []uint32
 	postingData    []sessions.SessionID
+	// postingRemap maps an item id to its posting row; nil means identity
+	// (row i holds item i, the layout BuildIndex produces).
+	postingRemap []uint32
 	// sessionItemOffsets has numSessions+1 entries; session s's distinct
 	// items are sessionItemData[sessionItemOffsets[s]:sessionItemOffsets[s+1]].
 	sessionItemOffsets []uint32
@@ -77,6 +85,9 @@ type CSR struct {
 	// IDF may be nil when constructing (NewIndexFromCSR recomputes it);
 	// CSR() always returns it populated.
 	IDF []float64
+	// PostingRemap maps item id -> posting row; nil means the identity
+	// layout. When non-nil it must be a permutation of [0, numItems).
+	PostingRemap []uint32
 }
 
 // Arena describes the backing storage of a CSR view handed to
@@ -256,10 +267,11 @@ func NewIndexFromParts(times []int64, postings [][]sessions.SessionID, sessionIt
 // mmap region described by arena, and nothing is copied. It validates every
 // structural invariant Recommend relies on (offset monotonicity and bounds,
 // posting ids in range and in descending timestamp order, item ids in range,
-// plausible document frequencies) without allocating, so a file-backed load
-// stays O(1) in allocations no matter how large the index. A nil c.IDF is
-// recomputed from the document frequencies; a provided one (e.g. a mapped
-// section) is cross-checked against them.
+// plausible document frequencies, the posting remap a permutation) without
+// allocating — except a transient row-seen bitmap when a remap is present —
+// so a file-backed load stays O(1) in allocations no matter how large the
+// index. A nil c.IDF is recomputed from the document frequencies; a provided
+// one (e.g. a mapped section) is cross-checked against them.
 func NewIndexFromCSR(c CSR, capacity int, arena Arena) (*Index, error) {
 	numSessions := len(c.Times)
 	numItems := len(c.DF)
@@ -278,8 +290,27 @@ func NewIndexFromCSR(c CSR, capacity int, arena Arena) (*Index, error) {
 	if err := checkOffsets(c.SessionItemOffsets, len(c.SessionItemData), "session-item"); err != nil {
 		return nil, err
 	}
+	if c.PostingRemap != nil {
+		if len(c.PostingRemap) != numItems {
+			return nil, fmt.Errorf("core: posting remap (%d) disagrees with item count %d", len(c.PostingRemap), numItems)
+		}
+		seenRow := make([]bool, numItems)
+		for item, row := range c.PostingRemap {
+			if int(row) >= numItems {
+				return nil, fmt.Errorf("core: posting remap of item %d references row %d of %d", item, row, numItems)
+			}
+			if seenRow[row] {
+				return nil, fmt.Errorf("core: posting remap is not a permutation (row %d claimed twice)", row)
+			}
+			seenRow[row] = true
+		}
+	}
 	for item := 0; item < numItems; item++ {
-		lo, hi := c.PostingOffsets[item], c.PostingOffsets[item+1]
+		row := item
+		if c.PostingRemap != nil {
+			row = int(c.PostingRemap[item])
+		}
+		lo, hi := c.PostingOffsets[row], c.PostingOffsets[row+1]
 		count := int(hi - lo)
 		if capacity > 0 && count > capacity {
 			return nil, fmt.Errorf("core: posting list of item %d has %d entries, beyond capacity %d", item, count, capacity)
@@ -310,6 +341,7 @@ func NewIndexFromCSR(c CSR, capacity int, arena Arena) (*Index, error) {
 		times:              c.Times,
 		postingOffsets:     c.PostingOffsets,
 		postingData:        c.PostingData,
+		postingRemap:       c.PostingRemap,
 		sessionItemOffsets: c.SessionItemOffsets,
 		sessionItemData:    c.SessionItemData,
 		df:                 c.DF,
@@ -357,6 +389,7 @@ func (idx *Index) CSR() CSR {
 		SessionItemData:    idx.sessionItemData,
 		DF:                 idx.df,
 		IDF:                idx.idf,
+		PostingRemap:       idx.postingRemap,
 	}
 }
 
@@ -401,7 +434,11 @@ func (idx *Index) Postings(item sessions.ItemID) []sessions.SessionID {
 	if int(item) >= idx.numItems {
 		return nil
 	}
-	lo, hi := idx.postingOffsets[item], idx.postingOffsets[item+1]
+	row := uint32(item)
+	if idx.postingRemap != nil {
+		row = idx.postingRemap[item]
+	}
+	lo, hi := idx.postingOffsets[row], idx.postingOffsets[row+1]
 	if lo == hi {
 		return nil
 	}
@@ -445,6 +482,75 @@ func (idx *Index) IDF(item sessions.ItemID) float64 {
 // Mapped reports whether the index reads from an mmap(2) region instead of
 // heap memory.
 func (idx *Index) Mapped() bool { return idx.mapped }
+
+// Remapped reports whether the posting rows are stored in a non-identity
+// (e.g. popularity-ordered) physical layout.
+func (idx *Index) Remapped() bool { return idx.postingRemap != nil }
+
+// RemappedByPopularity returns a view of the index whose posting rows are
+// physically reordered by descending document frequency (ties broken by
+// ascending item id): the hottest items' posting lists become the first rows
+// of the posting arena, so the bytes that frequent queries touch cluster on a
+// few leading pages instead of being scattered across the whole arena. Every
+// accessor keeps dataset item-id semantics — only the physical row order and
+// the item→row remap change.
+//
+// The returned index shares the timestamp, session-item, df, and idf arrays
+// with the receiver (it is valid only as long as the receiver stays open) but
+// owns fresh posting arrays, so it never aliases a region the receiver's
+// Close would unmap partially. An already-remapped index is rebuilt from its
+// logical (per-item) posting order, so the result is canonical either way.
+func (idx *Index) RemappedByPopularity() (*Index, error) {
+	n := idx.numItems
+	order := make([]sessions.ItemID, n)
+	for i := range order {
+		order[i] = sessions.ItemID(i)
+	}
+	slicesSortByDF(order, idx.df)
+
+	remap := make([]uint32, n)
+	postingOffsets := make([]uint32, n+1)
+	postingData := make([]sessions.SessionID, len(idx.postingData))
+	w := uint32(0)
+	for row, item := range order {
+		remap[item] = uint32(row)
+		postingOffsets[row] = w
+		w += uint32(copy(postingData[w:], idx.Postings(item)))
+	}
+	postingOffsets[n] = w
+
+	c := CSR{
+		Times:              idx.times,
+		PostingOffsets:     postingOffsets,
+		PostingData:        postingData[:w:w],
+		SessionItemOffsets: idx.sessionItemOffsets,
+		SessionItemData:    idx.sessionItemData,
+		DF:                 idx.df,
+		IDF:                idx.idf,
+		PostingRemap:       remap,
+	}
+	return NewIndexFromCSR(c, idx.capacity, Arena{})
+}
+
+// slicesSortByDF sorts item ids by descending document frequency, ascending
+// item id on ties — the deterministic popularity order of the posting remap.
+func slicesSortByDF(order []sessions.ItemID, df []int32) {
+	slices.SortFunc(order, func(a, b sessions.ItemID) int {
+		if df[a] != df[b] {
+			if df[a] > df[b] {
+				return -1
+			}
+			return 1
+		}
+		if a < b {
+			return -1
+		}
+		if a > b {
+			return 1
+		}
+		return 0
+	})
+}
 
 // Close releases the index's backing arena — for a file-backed index it
 // unmaps the region, after which every accessor result and shared slice is
@@ -498,6 +604,7 @@ func (idx *Index) MemoryBreakdown() (heapBytes, mmapBytes int64) {
 	heapBytes = int64(len(idx.times))*8 +
 		int64(len(idx.postingOffsets))*4 +
 		int64(len(idx.postingData))*4 +
+		int64(len(idx.postingRemap))*4 +
 		int64(len(idx.sessionItemOffsets))*4 +
 		int64(len(idx.sessionItemData))*4 +
 		int64(len(idx.df))*4 +

@@ -67,7 +67,7 @@ func NewRecommender(idx *Index, p Params) (*Recommender, error) {
 		p:    p,
 		tab:  newProbeTable(p.M),
 		seen: make([]sessions.ItemID, 0, p.MaxSessionLength),
-		acc:  newItemAccumulator(idx.numItems),
+		acc:  newItemAccumulator(idx.numItems, p.Float32Scores),
 	}
 	r.bt = dheap.NewWithCapacity(p.HeapArity, p.M, func(a, b btEntry) bool { return a.time < b.time })
 	return r, nil
@@ -141,6 +141,47 @@ func (r *Recommender) seenBefore(item sessions.ItemID) bool {
 	return false
 }
 
+// resetCandidates clears the per-query candidate state (probe table, seen
+// list, recency heap) ahead of an intersection loop.
+func (r *Recommender) resetCandidates() {
+	r.tab.reset()
+	r.seen = r.seen[:0]
+	r.bt.Reset()
+}
+
+// consumePosting applies one posting-list entry (candidate session j with a
+// current item weight pi at evolving position pos) to the candidate
+// accumulator — the loop body of Algorithm 2's intersection loop. It returns
+// false when the caller must stop walking this posting list (early
+// stopping): postings are sorted by descending timestamp, so once a session
+// is rejected for being older than every current candidate, every remaining
+// session in the list would be rejected too. The batch kernel shares this
+// method so a lane behaves bit-identically whether its postings are walked
+// alone or interleaved with other lanes.
+func (r *Recommender) consumePosting(j sessions.SessionID, pi float64, pos int) bool {
+	if sl := r.tab.find(j); sl != nil {
+		sl.score += pi
+		return true
+	}
+	tj := r.idx.times[j]
+	if r.tab.len() < r.p.M {
+		r.tab.insert(j, pi, int32(pos))
+		r.bt.Push(btEntry{id: j, time: tj})
+		return true
+	}
+	oldest, _ := r.bt.Peek()
+	if tj > oldest.time {
+		// Evict the oldest candidate in favour of the more recent session
+		// j. An evicted session can never re-enter: the recency heap's
+		// minimum only grows.
+		r.tab.delete(oldest.id)
+		r.tab.insert(j, pi, int32(pos))
+		r.bt.ReplaceRoot(btEntry{id: j, time: tj})
+		return true
+	}
+	return r.p.DisableEarlyStopping
+}
+
 // NeighborSessions computes the k most similar historical sessions for the
 // evolving session — the function neighbor_sessions_from_index of
 // Algorithm 2. The returned slice is ordered most similar first and is
@@ -149,9 +190,7 @@ func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
 	s := r.truncate(evolving)
 	length := len(s)
 
-	r.tab.reset()
-	r.seen = r.seen[:0]
-	r.bt.Reset()
+	r.resetCandidates()
 
 	// Item intersection loop: visit evolving-session items most recent
 	// first so that the first candidate hit by a session records the most
@@ -170,40 +209,22 @@ func (r *Recommender) NeighborSessions(evolving []sessions.ItemID) []Neighbor {
 		pi := r.p.Decay(pos, length)
 
 		for _, j := range postings {
-			if sl := r.tab.find(j); sl != nil {
-				sl.score += pi
-				continue
-			}
-			tj := r.idx.times[j]
-			if r.tab.len() < r.p.M {
-				r.tab.insert(j, pi, int32(pos))
-				r.bt.Push(btEntry{id: j, time: tj})
-				continue
-			}
-			oldest, _ := r.bt.Peek()
-			if tj > oldest.time {
-				// Evict the oldest candidate in favour of the more
-				// recent session j. An evicted session can never
-				// re-enter: the recency heap's minimum only grows.
-				r.tab.delete(oldest.id)
-				r.tab.insert(j, pi, int32(pos))
-				r.bt.ReplaceRoot(btEntry{id: j, time: tj})
-				continue
-			}
-			if !r.p.DisableEarlyStopping {
-				// Early stopping: postings are sorted by descending
-				// timestamp, so every remaining session in this list is
-				// at least as old as j and would be rejected too.
+			if !r.consumePosting(j, pi, pos) {
 				break
 			}
 		}
 	}
 
-	// Top-k similarity loop: one cache-friendly sweep over the probe
-	// table's 2·M slots stands in for iterating the temporary map r, then
-	// quickselect keeps the k best and a final sort orders them — the same
-	// total order the reference path's bounded heap produces, at a fraction
-	// of the comparisons (see selectTopNeighbors).
+	return r.collectTopNeighbors()
+}
+
+// collectTopNeighbors runs the top-k similarity loop over a filled candidate
+// table: one cache-friendly sweep over the probe table's 2·M slots stands in
+// for iterating the temporary map r, then quickselect keeps the k best and a
+// final sort orders them — the same total order the reference path's bounded
+// heap produces, at a fraction of the comparisons (see selectTopNeighbors).
+// The result aliases the reused neighbour buffer.
+func (r *Recommender) collectTopNeighbors() []Neighbor {
 	ns := r.nbrBuf[:0]
 	for i := range r.tab.slots {
 		sl := &r.tab.slots[i]
@@ -260,15 +281,31 @@ func (r *Recommender) ScoreNeighbors(neighbors []Neighbor, n int) []ScoredItem {
 	// d_i = Σ_n 1_n(i) · λ(maxPos_n) · r_n · log(|H|/h_i), accumulated in
 	// the flat array. Zero contributions (idf 0) are skipped — they cannot
 	// change a score, and the accumulator needs first touches to be
-	// strictly positive.
-	for _, nb := range neighbors {
-		w := r.p.MatchWeight(nb.MaxPos) * nb.Score
-		if w == 0 {
-			continue
+	// strictly positive. The float32 mode duplicates the two-line loop body
+	// rather than branching per contribution: the accumulator store is the
+	// hot instruction here.
+	if r.p.Float32Scores {
+		for _, nb := range neighbors {
+			w := r.p.MatchWeight(nb.MaxPos) * nb.Score
+			if w == 0 {
+				continue
+			}
+			for _, item := range r.idx.SessionItems(nb.ID) {
+				if v := w * r.idx.idf[item]; v != 0 {
+					r.acc.add32(item, v)
+				}
+			}
 		}
-		for _, item := range r.idx.SessionItems(nb.ID) {
-			if v := w * r.idx.idf[item]; v != 0 {
-				r.acc.add(item, v)
+	} else {
+		for _, nb := range neighbors {
+			w := r.p.MatchWeight(nb.MaxPos) * nb.Score
+			if w == 0 {
+				continue
+			}
+			for _, item := range r.idx.SessionItems(nb.ID) {
+				if v := w * r.idx.idf[item]; v != 0 {
+					r.acc.add(item, v)
+				}
 			}
 		}
 	}
@@ -278,9 +315,17 @@ func (r *Recommender) ScoreNeighbors(neighbors []Neighbor, n int) []ScoredItem {
 	// across calls regardless of n, so callers alternating output lengths
 	// (e.g. A/B arms sharing a pool) never reallocate output state.
 	out := r.outBuf[:0]
-	for _, item := range r.acc.touched {
-		if score := r.acc.scores[item]; score > 0 {
-			out = append(out, ScoredItem{Item: item, Score: score})
+	if r.p.Float32Scores {
+		for _, item := range r.acc.touched {
+			if score := r.acc.scores32[item]; score > 0 {
+				out = append(out, ScoredItem{Item: item, Score: float64(score)})
+			}
+		}
+	} else {
+		for _, item := range r.acc.touched {
+			if score := r.acc.scores[item]; score > 0 {
+				out = append(out, ScoredItem{Item: item, Score: score})
+			}
 		}
 	}
 	r.acc.resetSparse()

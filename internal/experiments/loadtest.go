@@ -20,6 +20,18 @@ type LoadTestConfig struct {
 	Duration time.Duration
 	// Replicas is the number of stateful serving pods (the paper uses 2).
 	Replicas int
+	// BatchWindow enables request batching on the replicas (0 = off).
+	BatchWindow time.Duration
+	// BatchMax bounds a gathered batch (0 = serving default).
+	BatchMax int
+	// CacheSize enables the single-flight result cache (entries; 0 = off).
+	CacheSize int
+	// CacheTTL overrides the cache entry lifetime (0 = serving default).
+	CacheTTL time.Duration
+	// Burst replays each session under this many distinct session keys,
+	// interleaved — the duplicate-heavy traffic the cache absorbs (<= 1
+	// replays each session once).
+	Burst int
 }
 
 // ReplicaStats is one replica's serving counters after a load test.
@@ -62,14 +74,18 @@ func LoadTest(cfg LoadTestConfig, opts Options) (*LoadTestResult, error) {
 		return nil, err
 	}
 	pool, err := cluster.NewPool(idx, serving.Config{
-		Params: core.Params{M: 500, K: 100},
+		Params:          core.Params{M: 500, K: 100},
+		BatchWindow:     cfg.BatchWindow,
+		BatchMax:        cfg.BatchMax,
+		ResultCacheSize: cfg.CacheSize,
+		ResultCacheTTL:  cfg.CacheTTL,
 	}, cfg.Replicas)
 	if err != nil {
 		return nil, err
 	}
 	defer pool.Close()
 
-	workload := loadgen.Workload(test, 0)
+	workload := loadgen.BurstWorkload(test, 0, cfg.Burst)
 	if len(workload) == 0 {
 		return nil, fmt.Errorf("experiments: empty replay workload")
 	}
@@ -151,6 +167,43 @@ func PrintLoadTest(w io.Writer, res *LoadTestResult) {
 		rcells = append(rcells, row)
 	}
 	printTable(w, rheader, rcells)
+
+	// Batching / result-cache accounting, when either feature was on.
+	active := false
+	for _, rep := range res.Replicas {
+		if rep.CacheHits+rep.CacheMisses+rep.CacheCoalesced+rep.Batches > 0 {
+			active = true
+			break
+		}
+	}
+	if !active {
+		return
+	}
+	fmt.Fprintln(w, "\nper-replica batching and result cache")
+	cheader := []string{"replica", "hits", "misses", "coalesced", "hit ratio", "batches", "batched", "avg batch"}
+	var ccells [][]string
+	for _, rep := range res.Replicas {
+		lookups := rep.CacheHits + rep.CacheMisses + rep.CacheCoalesced
+		ratio := "-"
+		if lookups > 0 {
+			ratio = fmt.Sprintf("%.1f%%", 100*float64(rep.CacheHits+rep.CacheCoalesced)/float64(lookups))
+		}
+		avgBatch := "-"
+		if rep.Batches > 0 {
+			avgBatch = fmt.Sprintf("%.1f", float64(rep.BatchedRequests)/float64(rep.Batches))
+		}
+		ccells = append(ccells, []string{
+			rep.Name,
+			fmt.Sprintf("%d", rep.CacheHits),
+			fmt.Sprintf("%d", rep.CacheMisses),
+			fmt.Sprintf("%d", rep.CacheCoalesced),
+			ratio,
+			fmt.Sprintf("%d", rep.Batches),
+			fmt.Sprintf("%d", rep.BatchedRequests),
+			avgBatch,
+		})
+	}
+	printTable(w, cheader, ccells)
 }
 
 // CoreScalingRow is one rate's core usage (§5.2.3 / §7 cost discussion).

@@ -3,6 +3,7 @@ package index
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"serenade/internal/core"
@@ -44,17 +45,48 @@ func FuzzLoad(f *testing.F) {
 		f.Fatal(err)
 	}
 	valid2 := buf2.Bytes()
+	tableEnd := int(v2TableEnd(v2NumSections))
 	f.Add(valid2)
 	f.Add(valid2[:v2HeaderSize-1])
-	f.Add(valid2[:v2TableEnd/2])
+	f.Add(valid2[:tableEnd/2])
 	f.Add(valid2[:len(valid2)-3])
 	flipped := append([]byte(nil), valid2...)
-	flipped[v2TableEnd+1] ^= 0x40
+	flipped[tableEnd+1] ^= 0x40
 	f.Add(flipped)
 	hostile := append([]byte(nil), valid2...)
 	binary.LittleEndian.PutUint64(hostile[v2HeaderSize+2*v2SectionSize+16:], 1<<60) // huge byteLen
 	f.Add(hostile)
 	f.Add([]byte("SRNIDX02garbage"))
+
+	// v2 remap seeds: the eight-section layout (popularity remap present), a
+	// hostile out-of-range remap row with an honest CRC, a file whose header
+	// claims eight sections over a seven-entry table, and a duplicate section
+	// id — the absent-section case is valid2 above.
+	remapped, err := idx.RemappedByPopularity()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := SaveV2(&buf3, remapped); err != nil {
+		f.Fatal(err)
+	}
+	valid3 := buf3.Bytes()
+	f.Add(valid3)
+	f.Add(valid3[:v2TableEnd(v2MaxSections)-4])
+	badRow := append([]byte(nil), valid3...)
+	le := binary.LittleEndian
+	remapEntry := badRow[v2HeaderSize+(secPostRemap-1)*v2SectionSize:]
+	off := le.Uint64(remapEntry[8:16])
+	n := le.Uint64(remapEntry[16:24])
+	le.PutUint32(badRow[off:], uint32(remapped.NumItems()))
+	le.PutUint32(remapEntry[4:8], crc32.ChecksumIEEE(badRow[off:off+n]))
+	f.Add(badRow)
+	claims8 := append([]byte(nil), valid2...)
+	le.PutUint32(claims8[32:36], v2MaxSections)
+	f.Add(claims8)
+	dupID := append([]byte(nil), valid3...)
+	le.PutUint32(dupID[v2HeaderSize+(secPostRemap-1)*v2SectionSize:], secIDF)
+	f.Add(dupID)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := Load(bytes.NewReader(data))

@@ -183,12 +183,12 @@ func TestV2QueriesMatchReference(t *testing.T) {
 }
 
 // v2Sections parses the section table of a pristine v2 image so corruption
-// tests can aim at precise byte ranges.
-func v2Sections(t *testing.T, data []byte) [v2NumSections]struct{ offset, byteLen uint64 } {
+// tests can aim at precise byte ranges (7 or 8 entries, per the header).
+func v2Sections(t *testing.T, data []byte) []struct{ offset, byteLen uint64 } {
 	t.Helper()
-	var secs [v2NumSections]struct{ offset, byteLen uint64 }
 	le := binary.LittleEndian
-	for i := 0; i < v2NumSections; i++ {
+	secs := make([]struct{ offset, byteLen uint64 }, le.Uint32(data[32:36]))
+	for i := range secs {
 		entry := data[v2HeaderSize+i*v2SectionSize:]
 		secs[i].offset = le.Uint64(entry[8:16])
 		secs[i].byteLen = le.Uint64(entry[16:24])
@@ -241,7 +241,8 @@ func TestV2TruncationRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	pristine := saveV2Bytes(t, idx)
-	for _, cut := range []int{9, v2HeaderSize - 1, v2TableEnd - 4, v2TableEnd + 8, len(pristine) / 2, len(pristine) - 1} {
+	tableEnd := int(v2TableEnd(v2NumSections))
+	for _, cut := range []int{9, v2HeaderSize - 1, tableEnd - 4, tableEnd + 8, len(pristine) / 2, len(pristine) - 1} {
 		loadBoth(t, pristine[:cut], fmt.Sprintf("truncated to %d", cut))
 	}
 }
@@ -314,6 +315,117 @@ func TestV2SectionTableAttacks(t *testing.T) {
 		le.PutUint64(e[16:24], n-8)
 		le.PutUint32(e[4:8], crc32.ChecksumIEEE(d[off:off+n-8]))
 	})
+}
+
+// TestV2RemapRoundTrip: a popularity-remapped index serialises with the
+// optional eighth section and loads back — through both the mmap and the
+// stream path — with the remap intact and identical observable state to the
+// original identity-layout index.
+func TestV2RemapRoundTrip(t *testing.T) {
+	ds := smallDataset(t, 23)
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped, err := idx.RemappedByPopularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveV2Bytes(t, remapped)
+	if got := binary.LittleEndian.Uint32(data[32:36]); got != v2MaxSections {
+		t.Fatalf("remapped index wrote %d sections, want %d", got, v2MaxSections)
+	}
+
+	fromFile, err := LoadFile(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fromFile.Close()
+	if !fromFile.Remapped() {
+		t.Error("file-loaded index lost its posting remap")
+	}
+	indexesEqual(t, idx, fromFile)
+
+	fromStream, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromStream.Remapped() {
+		t.Error("stream-loaded index lost its posting remap")
+	}
+	indexesEqual(t, idx, fromStream)
+}
+
+// TestV2WithoutRemapLoadsIdentity pins backward compatibility: a plain
+// seven-section v2 file (everything written before the remap existed) still
+// loads, with the identity posting layout.
+func TestV2WithoutRemapLoadsIdentity(t *testing.T) {
+	ds := smallDataset(t, 24)
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveV2Bytes(t, idx)
+	if got := binary.LittleEndian.Uint32(data[32:36]); got != v2NumSections {
+		t.Fatalf("identity-layout index wrote %d sections, want %d", got, v2NumSections)
+	}
+	back, err := LoadFile(writeTemp(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Remapped() {
+		t.Error("seven-section file loaded with a remap")
+	}
+	indexesEqual(t, idx, back)
+}
+
+// TestV2RemapSectionAttacks aims hostile mutations at the remap section:
+// out-of-range rows and duplicate rows (with honestly recomputed CRCs, so the
+// permutation check itself must catch them), a wrong section id, a truncated
+// eighth table entry, and an absurd section count.
+func TestV2RemapSectionAttacks(t *testing.T) {
+	ds := smallDataset(t, 25)
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped, err := idx.RemappedByPopularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := saveV2Bytes(t, remapped)
+	le := binary.LittleEndian
+	secs := v2Sections(t, pristine)
+	remapSec := secs[secPostRemap-1]
+	if remapSec.byteLen < 8 {
+		t.Fatal("remap section implausibly small")
+	}
+
+	patchPayload := func(label string, mutate func(payload []byte)) {
+		data := append([]byte(nil), pristine...)
+		payload := data[remapSec.offset : remapSec.offset+remapSec.byteLen]
+		mutate(payload)
+		entry := data[v2HeaderSize+(secPostRemap-1)*v2SectionSize:]
+		le.PutUint32(entry[4:8], crc32.ChecksumIEEE(payload))
+		loadBoth(t, data, label)
+	}
+	patchPayload("remap row out of range", func(p []byte) {
+		le.PutUint32(p, uint32(remapped.NumItems()))
+	})
+	patchPayload("remap row duplicated", func(p []byte) {
+		le.PutUint32(p, le.Uint32(p[4:8]))
+	})
+
+	data := append([]byte(nil), pristine...)
+	le.PutUint32(data[v2HeaderSize+(secPostRemap-1)*v2SectionSize:], 9)
+	loadBoth(t, data, "remap section wrong id")
+
+	data = append([]byte(nil), pristine...)
+	le.PutUint32(data[32:36], 9)
+	loadBoth(t, data, "section count 9")
+
+	loadBoth(t, pristine[:v2TableEnd(v2MaxSections)-4], "table truncated before remap entry")
 }
 
 // TestLoadFileV2Allocs pins the headline property of the v2 loader: the

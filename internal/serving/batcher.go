@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// DefaultBatchMax bounds a gathered batch when Config.BatchMax is zero.
+const DefaultBatchMax = 16
+
+// batchJob is one request's slot in a gathered batch. items and genSeq are
+// written by the batch runner before done closes and are owned by the
+// requester afterwards.
+type batchJob struct {
+	predictFrom []sessions.ItemID
+	slot        int
+	done        chan struct{}
+	items       []core.ScoredItem
+	genSeq      uint64
+}
+
+// batcher gathers concurrent recommendation requests into shared
+// BatchRecommend executions: the first request of a batch opens a wait
+// window, every request arriving within it (up to max) joins, and the batch
+// runs the kernel once with shared posting walks. The window trades a bounded
+// per-request delay for cross-request memory locality; at low concurrency
+// batches degenerate to size 1 and only the window delay remains, which is
+// why batching is opt-in (Config.BatchWindow).
+type batcher struct {
+	s      *Server
+	window time.Duration
+	max    int
+
+	jobs    chan *batchJob
+	stop    chan struct{}
+	stopped sync.WaitGroup
+
+	depth           atomic.Int64 // jobs submitted but not yet dispatched
+	batches         atomic.Uint64
+	batchedRequests atomic.Uint64
+}
+
+func newBatcher(s *Server, window time.Duration, max int) *batcher {
+	if max <= 0 {
+		max = DefaultBatchMax
+	}
+	b := &batcher{
+		s:      s,
+		window: window,
+		max:    max,
+		jobs:   make(chan *batchJob, 4*max),
+		stop:   make(chan struct{}),
+	}
+	b.stopped.Add(1)
+	go b.run()
+	return b
+}
+
+// submit enqueues a job; the caller then waits on job.done. The jobs channel
+// is deep enough that submission virtually never blocks, and when it does the
+// collector is guaranteed to be draining.
+func (b *batcher) submit(job *batchJob) {
+	b.depth.Add(1)
+	b.jobs <- job
+}
+
+// run is the collector loop: block for the first job of a batch, gather
+// joiners for one wait window (or until the batch is full), dispatch, repeat.
+// Dispatch happens on a fresh goroutine so gathering the next batch overlaps
+// the current batch's kernel execution.
+func (b *batcher) run() {
+	defer b.stopped.Done()
+	for {
+		var first *batchJob
+		select {
+		case first = <-b.jobs:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		batch := []*batchJob{first}
+		deadline := time.NewTimer(b.window)
+	gather:
+		for len(batch) < b.max {
+			select {
+			case job := <-b.jobs:
+				batch = append(batch, job)
+			case <-deadline.C:
+				break gather
+			case <-b.stop:
+				break gather
+			}
+		}
+		deadline.Stop()
+		b.depth.Add(-int64(len(batch)))
+		b.batches.Add(1)
+		b.batchedRequests.Add(uint64(len(batch)))
+		go b.s.runBatch(batch)
+		select {
+		case <-b.stop:
+			b.drain()
+			return
+		default:
+		}
+	}
+}
+
+// drain flushes jobs that were queued when the batcher stopped, so no
+// requester is left waiting on a done channel that would never close.
+func (b *batcher) drain() {
+	for {
+		select {
+		case job := <-b.jobs:
+			b.depth.Add(-1)
+			b.s.runBatch([]*batchJob{job})
+		default:
+			return
+		}
+	}
+}
+
+// close stops the collector and flushes queued jobs. In-flight dispatched
+// batches complete on their own goroutines.
+func (b *batcher) close() {
+	close(b.stop)
+	b.stopped.Wait()
+}
+
+// runBatch executes one gathered batch against the active index generation
+// and hands each requester a private copy of its result.
+func (s *Server) runBatch(jobs []*batchJob) {
+	gen := s.acquireGen()
+	br := gen.batchPool.Get().(*core.BatchRecommender)
+	queries := make([][]sessions.ItemID, len(jobs))
+	for i, job := range jobs {
+		queries[i] = job.predictFrom
+	}
+	// The over-fetch slot is a server constant, identical across jobs.
+	results := br.BatchRecommend(queries, jobs[0].slot)
+	for i, job := range jobs {
+		job.items = append(make([]core.ScoredItem, 0, len(results[i])), results[i]...)
+		job.genSeq = gen.seq
+		close(job.done)
+	}
+	gen.batchPool.Put(br)
+	gen.release()
+}

@@ -1,0 +1,218 @@
+package serving
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+// DefaultResultCacheTTL bounds how long a cached prediction may be replayed
+// when Config.ResultCacheTTL is zero. Short on purpose: the cache exists to
+// absorb duplicate bursts (flash sales, bot refreshes), not to serve stale
+// rankings all day.
+const DefaultResultCacheTTL = 5 * time.Second
+
+// cacheShardCount stripes the cache so concurrent requests on different keys
+// never contend on one mutex. Power of two; shard selection uses the key
+// hash's low bits.
+const cacheShardCount = 16
+
+// resultCache is a single-flight TTL cache over raw (pre-business-rules)
+// predictions, keyed on (kernel-truncated session tail, over-fetch slot,
+// index generation). Duplicate-burst traffic — many sessions at the same
+// point in the same click path — collapses onto one kernel execution: the
+// first request becomes the leader and computes, concurrent requests for the
+// same key coalesce on the leader's pending entry, and later requests within
+// the TTL hit the completed entry. Keys embed the generation sequence number,
+// so entries of a replaced index can never be served after a rollover (the
+// swap also purges eagerly to release the memory).
+//
+// Cached values are pre-business-rules on purpose: catalog flags and the
+// currently displayed item vary per request, so rules are applied by each
+// caller to a private copy.
+type resultCache struct {
+	ttl        time.Duration
+	maxEntries int
+	now        func() time.Time
+
+	shards [cacheShardCount]cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one single-flight slot. done closes when the leader finishes;
+// items and expires are written exactly once, before that close, and are
+// immutable afterwards. A nil items after done closes marks an abandoned
+// entry (the leader failed before filling): waiters fall back to computing
+// themselves.
+type cacheEntry struct {
+	done    chan struct{}
+	items   []core.ScoredItem
+	expires time.Time
+}
+
+func newResultCache(maxEntries int, ttl time.Duration, now func() time.Time) *resultCache {
+	if ttl <= 0 {
+		ttl = DefaultResultCacheTTL
+	}
+	c := &resultCache{ttl: ttl, maxEntries: maxEntries, now: now}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// cacheKey encodes (generation seq, slot, session tail) as the cache's map
+// key. The full tail is embedded — not a digest — so two different sessions
+// can never alias one entry.
+func cacheKey(tail []sessions.ItemID, slot int, genSeq uint64) string {
+	buf := make([]byte, 12+4*len(tail))
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:8], genSeq)
+	le.PutUint32(buf[8:12], uint32(slot))
+	for i, it := range tail {
+		le.PutUint32(buf[12+4*i:], uint32(it))
+	}
+	return string(buf)
+}
+
+// shardOf picks the stripe for a key (FNV-1a over the key bytes).
+func (c *resultCache) shardOf(key string) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h&(cacheShardCount-1)]
+}
+
+// acquire looks the key up and returns the entry plus whether the caller is
+// the leader. Leaders MUST complete the entry with fill (or abandon); every
+// other caller waits on entry.done and then reads entry.items. Hit, miss and
+// coalesced counters are maintained here.
+func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
+		select {
+		case <-e.done:
+			if c.now().Before(e.expires) && e.items != nil {
+				c.hits.Add(1)
+				return e, false
+			}
+			// Expired or abandoned: this caller becomes the new leader.
+		default:
+			c.coalesced.Add(1)
+			return e, false
+		}
+	}
+	c.misses.Add(1)
+	if len(sh.entries) >= c.maxEntries/cacheShardCount {
+		c.evictLocked(sh)
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	sh.entries[key] = e
+	return e, true
+}
+
+// evictLocked frees room in a full shard: expired completed entries first,
+// then arbitrary completed entries (map order) until the shard is below its
+// bound. Pending entries are never evicted — their leaders hold the only
+// reference waiters coalesce on.
+func (c *resultCache) evictLocked(sh *cacheShard) {
+	limit := c.maxEntries / cacheShardCount
+	now := c.now()
+	for key, e := range sh.entries {
+		select {
+		case <-e.done:
+			if !now.Before(e.expires) {
+				delete(sh.entries, key)
+				c.evictions.Add(1)
+			}
+		default:
+		}
+	}
+	for key, e := range sh.entries {
+		if len(sh.entries) < limit {
+			break
+		}
+		select {
+		case <-e.done:
+			delete(sh.entries, key)
+			c.evictions.Add(1)
+		default:
+		}
+	}
+}
+
+// fill completes a leader's entry with its computed prediction (a private
+// copy, so callers may mutate what they were handed) and publishes it to
+// waiters. keep=false — the prediction was computed against a different index
+// generation than the key names (a rollover raced the request) — still
+// publishes to the coalesced waiters but drops the entry instead of caching
+// it.
+func (c *resultCache) fill(key string, e *cacheEntry, items []core.ScoredItem, keep bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	e.items = append(make([]core.ScoredItem, 0, len(items)), items...)
+	e.expires = c.now().Add(c.ttl)
+	close(e.done)
+	if !keep && sh.entries[key] == e {
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
+}
+
+// abandon releases a leader's entry without a value (the compute path
+// failed): waiters see nil items and compute for themselves.
+func (c *resultCache) abandon(key string, e *cacheEntry) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	close(e.done)
+	if sh.entries[key] == e {
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
+}
+
+// purge drops every completed entry — the eager half of rollover
+// invalidation (the generation-tagged keys are the correctness half).
+func (c *resultCache) purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			select {
+			case <-e.done:
+				delete(sh.entries, key)
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// len reports the live entry count across shards.
+func (c *resultCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -87,6 +87,23 @@ type Config struct {
 	// popular recommendable items, so the UI slot is always full even for
 	// cold sessions on rare items.
 	FallbackToPopular bool
+	// BatchWindow enables request batching: the first request of a batch
+	// waits up to this long for concurrent requests to join, and the batch
+	// runs the kernel once with shared CSR posting walks (core.
+	// BatchRecommend). Zero disables batching — the right default at low
+	// concurrency, where the window is pure added latency.
+	BatchWindow time.Duration
+	// BatchMax caps how many requests one batch gathers; 0 means
+	// DefaultBatchMax. Only meaningful with BatchWindow.
+	BatchMax int
+	// ResultCacheSize enables the single-flight result cache: the maximum
+	// number of retained predictions. Concurrent requests with an identical
+	// kernel-truncated session tail coalesce onto one execution, and repeats
+	// within ResultCacheTTL are answered from memory. 0 disables.
+	ResultCacheSize int
+	// ResultCacheTTL is the cached-prediction lifetime; 0 means
+	// DefaultResultCacheTTL. Only meaningful with ResultCacheSize.
+	ResultCacheTTL time.Duration
 	// OwnIndex makes the server responsible for releasing index
 	// generations: an index replaced by SwapIndex (and the active one on
 	// Close) is closed — unmapping file-backed indexes — once its in-flight
@@ -133,6 +150,15 @@ type Server struct {
 	// active holds the current index generation: the index plus a pool of
 	// recommenders bound to it. Swapped wholesale on index rollover.
 	active atomic.Pointer[indexGeneration]
+	// genSeq numbers index generations; cache keys embed it so a rollover
+	// implicitly invalidates every cached prediction.
+	genSeq atomic.Uint64
+	// cache is the single-flight result cache (nil unless
+	// Config.ResultCacheSize > 0).
+	cache *resultCache
+	// batcher gathers concurrent requests into shared kernel batches (nil
+	// unless Config.BatchWindow > 0).
+	batcher *batcher
 
 	// requests and stages are contention-free striped histograms: recording
 	// a latency must never become the scalability bottleneck it would be
@@ -163,9 +189,15 @@ type Server struct {
 // (Config.OwnIndex).
 type indexGeneration struct {
 	idx *core.Index
+	// seq is the generation's rollover sequence number, embedded in result
+	// cache keys so entries die with their generation.
+	seq uint64
 	// popular ranks items by document frequency, the fallback order.
 	popular []core.ScoredItem
 	pool    sync.Pool
+	// batchPool pools BatchRecommenders for the request batcher (empty New
+	// unless batching is enabled).
+	batchPool sync.Pool
 	// recBytes is one pooled recommender's footprint, computed once at
 	// generation build so Stats and the metrics scrape never need to pull
 	// a recommender out of the pool.
@@ -176,13 +208,24 @@ type indexGeneration struct {
 	ownIdx   bool
 }
 
-func newGeneration(idx *core.Index, params core.Params, fallback, own bool) (*indexGeneration, error) {
+func newGeneration(idx *core.Index, params core.Params, fallback, own bool, batchMax int) (*indexGeneration, error) {
 	proto, err := core.NewRecommender(idx, params)
 	if err != nil {
 		return nil, err
 	}
 	g := &indexGeneration{idx: idx, recBytes: proto.MemoryFootprint(), ownIdx: own}
 	g.pool.New = func() any { return proto.Clone() }
+	if batchMax > 0 {
+		g.batchPool.New = func() any {
+			// Parameters were validated by NewRecommender above, so this
+			// cannot fail against the same index.
+			br, err := core.NewBatchRecommender(idx, params, batchMax)
+			if err != nil {
+				panic("serving: batch recommender: " + err.Error())
+			}
+			return br
+		}
+	}
 	if fallback {
 		g.popular = popularItems(idx)
 	}
@@ -256,6 +299,17 @@ func popularItems(idx *core.Index) []core.ScoredItem {
 	return out
 }
 
+// batchMax resolves the effective batch bound: 0 when batching is disabled.
+func (c Config) batchMax() int {
+	if c.BatchWindow <= 0 {
+		return 0
+	}
+	if c.BatchMax <= 0 {
+		return DefaultBatchMax
+	}
+	return c.BatchMax
+}
+
 // NewServer creates a serving instance against a (replicated, immutable)
 // session similarity index.
 func NewServer(idx *core.Index, cfg Config) (*Server, error) {
@@ -268,7 +322,7 @@ func NewServer(idx *core.Index, cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	gen, err := newGeneration(idx, cfg.Params, cfg.FallbackToPopular, cfg.OwnIndex)
+	gen, err := newGeneration(idx, cfg.Params, cfg.FallbackToPopular, cfg.OwnIndex, cfg.batchMax())
 	if err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
@@ -314,6 +368,12 @@ func NewServer(idx *core.Index, cfg Config) (*Server, error) {
 		SampleEvery: cfg.TraceSampleEvery,
 		SlowLog:     slowLog,
 	})
+	if cfg.ResultCacheSize > 0 {
+		s.cache = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheTTL, cfg.Now)
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.batchMax())
+	}
 	s.buildRegistry()
 	s.active.Store(gen)
 	return s, nil
@@ -382,6 +442,29 @@ func (s *Server) buildRegistry() {
 			func() float64 { return float64(s.dedupe.Len()) })
 	}
 
+	if s.cache != nil {
+		r.CounterFunc("serenade_result_cache_hits_total", "Predictions answered from a completed cache entry.",
+			func() float64 { return float64(s.cache.hits.Load()) })
+		r.CounterFunc("serenade_result_cache_misses_total", "Predictions that had to execute the kernel (cache leaders).",
+			func() float64 { return float64(s.cache.misses.Load()) })
+		r.CounterFunc("serenade_result_cache_coalesced_total", "Predictions that waited on a concurrent identical request (single-flight).",
+			func() float64 { return float64(s.cache.coalesced.Load()) })
+		r.CounterFunc("serenade_result_cache_evictions_total", "Cache entries dropped by TTL expiry or the size bound.",
+			func() float64 { return float64(s.cache.evictions.Load()) })
+		r.GaugeFunc("serenade_result_cache_entries", "Predictions currently cached.",
+			func() float64 { return float64(s.cache.len()) })
+	}
+	if s.batcher != nil {
+		r.GaugeFunc("serenade_batcher_depth", "Requests submitted to the batcher and not yet dispatched.",
+			func() float64 { return float64(s.batcher.depth.Load()) })
+		r.GaugeFunc("serenade_batcher_window_seconds", "Configured batch wait window.",
+			func() float64 { return s.batcher.window.Seconds() })
+		r.CounterFunc("serenade_batcher_batches_total", "Kernel batches dispatched (ratio to batched requests = mean batch size).",
+			func() float64 { return float64(s.batcher.batches.Load()) })
+		r.CounterFunc("serenade_batcher_batched_requests_total", "Requests served through the batcher.",
+			func() float64 { return float64(s.batcher.batchedRequests.Load()) })
+	}
+
 	r.Histogram("serenade_request_latency_seconds", "End-to-end request latency.", s.requests)
 	for i := range s.stages {
 		r.Histogram("serenade_stage_latency_seconds", "Per-stage request latency.",
@@ -407,12 +490,18 @@ func (s *Server) FlushSlowLog() { s.tracer.FlushSlowLog() }
 // index, which (when Config.OwnIndex is set) is closed — unmapping a
 // file-backed index — only once those requests drain.
 func (s *Server) SwapIndex(idx *core.Index) error {
-	gen, err := newGeneration(idx, s.cfg.Params, s.cfg.FallbackToPopular, s.cfg.OwnIndex)
+	gen, err := newGeneration(idx, s.cfg.Params, s.cfg.FallbackToPopular, s.cfg.OwnIndex, s.cfg.batchMax())
 	if err != nil {
 		return fmt.Errorf("serving: swapping index: %w", err)
 	}
+	gen.seq = s.genSeq.Add(1)
 	old := s.active.Swap(gen)
 	s.swaps.Add(1)
+	if s.cache != nil {
+		// Generation-tagged keys already make stale entries unreachable;
+		// purging eagerly releases their memory at rollover time.
+		s.cache.purge()
+	}
 	old.retire()
 	return nil
 }
@@ -427,9 +516,13 @@ func (s *Server) RecordIndexLoad(d time.Duration) {
 // Index returns the currently active index.
 func (s *Server) Index() *core.Index { return s.active.Load().idx }
 
-// Close releases the session store, the idempotency table, and (when the
-// server owns its index, Config.OwnIndex) the active index generation.
+// Close releases the batcher, the session store, the idempotency table, and
+// (when the server owns its index, Config.OwnIndex) the active index
+// generation.
 func (s *Server) Close() error {
+	if s.batcher != nil {
+		s.batcher.close()
+	}
 	if s.dedupe != nil {
 		s.dedupe.Close()
 	}
@@ -522,23 +615,41 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 		predictFrom = predictFrom[len(predictFrom)-s.cfg.HistoryLength:]
 	}
 
-	gen := s.acquireGen()
-	defer gen.release()
-	rec := gen.pool.Get().(*core.Recommender)
 	// Over-fetch so that business-rule filtering can still fill the slot.
 	slot := 2*s.cfg.Recommendations + 1
-	neighbors := rec.NeighborSessions(predictFrom)
-	sp.Cut(obs.StageCandidates)
-	raw := rec.ScoreNeighbors(neighbors, slot)
-	sp.Cut(obs.StageScore)
-	items := s.applyRules(req.Item, raw)
-	if len(items) > s.cfg.Recommendations {
-		items = items[:s.cfg.Recommendations]
+
+	var out []core.ScoredItem
+	if s.cache != nil || s.batcher != nil {
+		// Batched/cached path: the raw prediction arrives as a caller-owned
+		// copy (cache hits, coalesced waits and batch lanes all hand out
+		// private slices), so the business rules below may edit it in place.
+		// Kernel work — including any cache coalescing or batch wait-window
+		// time — is attributed to the score stage; the candidates/score
+		// split only exists on the unbatched path.
+		raw := s.predictShared(predictFrom, slot)
+		sp.Cut(obs.StageScore)
+		out = s.applyRules(req.Item, raw)
+		if len(out) > s.cfg.Recommendations {
+			out = out[:s.cfg.Recommendations]
+		}
+	} else {
+		gen := s.acquireGen()
+		rec := gen.pool.Get().(*core.Recommender)
+		neighbors := rec.NeighborSessions(predictFrom)
+		sp.Cut(obs.StageCandidates)
+		raw := rec.ScoreNeighbors(neighbors, slot)
+		sp.Cut(obs.StageScore)
+		items := s.applyRules(req.Item, raw)
+		if len(items) > s.cfg.Recommendations {
+			items = items[:s.cfg.Recommendations]
+		}
+		// Copy out of the recommender's reusable buffers before pooling it.
+		out = make([]core.ScoredItem, len(items))
+		copy(out, items)
+		gen.pool.Put(rec)
+		gen.release()
 	}
-	// Copy out of the recommender's reusable buffers before pooling it.
-	out := make([]core.ScoredItem, len(items))
-	copy(out, items)
-	gen.pool.Put(rec)
+	gen := s.active.Load()
 	if len(out) < s.cfg.Recommendations && len(gen.popular) > 0 {
 		padded := s.padWithPopular(out, req.Item, gen.popular)
 		if len(padded) > len(out) {
@@ -549,6 +660,75 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 	sp.Cut(obs.StageFilter)
 
 	return Response{Items: out, SessionLength: len(evolving)}, nil
+}
+
+// predictShared computes the raw (uncut, pre-business-rules) prediction via
+// the result cache and/or the request batcher, returning a slice the caller
+// owns and may mutate.
+func (s *Server) predictShared(predictFrom []sessions.ItemID, slot int) []core.ScoredItem {
+	if s.cache == nil {
+		items, _ := s.predictBatched(predictFrom, slot)
+		return items
+	}
+	genSeq := s.active.Load().seq
+	key := cacheKey(s.kernelTail(predictFrom), slot, genSeq)
+	e, leader := s.cache.acquire(key)
+	if !leader {
+		<-e.done
+		if e.items != nil {
+			return append(make([]core.ScoredItem, 0, len(e.items)), e.items...)
+		}
+		// The leader abandoned the entry; compute independently.
+		items, _ := s.predictBatched(predictFrom, slot)
+		return items
+	}
+	filled := false
+	defer func() {
+		if !filled {
+			s.cache.abandon(key, e)
+		}
+	}()
+	items, usedSeq := s.predictBatched(predictFrom, slot)
+	// A rollover between key construction and execution means the value
+	// belongs to a different generation than the key names: publish it to
+	// the waiters but do not retain it.
+	s.cache.fill(key, e, items, usedSeq == genSeq)
+	filled = true
+	return items
+}
+
+// predictBatched runs the kernel through the batcher when enabled, else
+// directly against a pooled recommender. The returned slice is a private
+// copy; the second result is the index generation that served it.
+func (s *Server) predictBatched(predictFrom []sessions.ItemID, slot int) ([]core.ScoredItem, uint64) {
+	if s.batcher != nil {
+		job := &batchJob{predictFrom: predictFrom, slot: slot, done: make(chan struct{})}
+		s.batcher.submit(job)
+		<-job.done
+		return job.items, job.genSeq
+	}
+	gen := s.acquireGen()
+	rec := gen.pool.Get().(*core.Recommender)
+	raw := rec.Recommend(predictFrom, slot)
+	out := append(make([]core.ScoredItem, 0, len(raw)), raw...)
+	gen.pool.Put(rec)
+	seq := gen.seq
+	gen.release()
+	return out, seq
+}
+
+// kernelTail truncates an evolving session to the items the kernel actually
+// uses — the cache-key normalisation that lets two long sessions with equal
+// recent tails share an entry.
+func (s *Server) kernelTail(items []sessions.ItemID) []sessions.ItemID {
+	maxLen := s.cfg.Params.MaxSessionLength
+	if maxLen <= 0 {
+		maxLen = core.DefaultMaxSessionLength
+	}
+	if len(items) > maxLen {
+		return items[len(items)-maxLen:]
+	}
+	return items
 }
 
 // observeSpan closes a request span: it freezes the total, feeds the
@@ -708,6 +888,18 @@ type Stats struct {
 	IndexHeapBytes   int64 `json:"index_heap_bytes"`
 	IndexMmapBytes   int64 `json:"index_mmap_bytes"`
 	RecommenderBytes int64 `json:"recommender_bytes"`
+	// Result cache counters (all zero when the cache is disabled). Hits are
+	// answered from memory, misses executed the kernel as cache leaders, and
+	// coalesced requests waited on a concurrent identical request.
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
+	CacheMisses    uint64 `json:"cache_misses,omitempty"`
+	CacheCoalesced uint64 `json:"cache_coalesced,omitempty"`
+	CacheEntries   int    `json:"cache_entries,omitempty"`
+	// Batcher counters (zero when batching is disabled); BatchedRequests /
+	// Batches is the realised mean batch size.
+	Batches         uint64 `json:"batches,omitempty"`
+	BatchedRequests uint64 `json:"batched_requests,omitempty"`
+	BatcherDepth    int64  `json:"batcher_depth,omitempty"`
 	// Stages breaks the request latency down by pipeline stage (stages
 	// with no observations are omitted), attributing tail latency to
 	// session-store access vs index lookup vs scoring vs serialization.
@@ -734,6 +926,17 @@ func (s *Server) Stats() Stats {
 		IndexHeapBytes:   heapBytes,
 		IndexMmapBytes:   mmapBytes,
 		RecommenderBytes: gen.recBytes,
+	}
+	if s.cache != nil {
+		st.CacheHits = s.cache.hits.Load()
+		st.CacheMisses = s.cache.misses.Load()
+		st.CacheCoalesced = s.cache.coalesced.Load()
+		st.CacheEntries = s.cache.len()
+	}
+	if s.batcher != nil {
+		st.Batches = s.batcher.batches.Load()
+		st.BatchedRequests = s.batcher.batchedRequests.Load()
+		st.BatcherDepth = s.batcher.depth.Load()
 	}
 	for i := range s.stages {
 		snap := s.stages[i].Snapshot()

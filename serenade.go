@@ -168,6 +168,12 @@ func SaveIndexFormat(path string, idx *Index, format string) error {
 	return index.SaveFileFormat(path, idx, format)
 }
 
+// On-disk index format names accepted by SaveIndexFormat.
+const (
+	IndexFormatV1 = index.FormatV1
+	IndexFormatV2 = index.FormatV2
+)
+
 // LoadIndex reads an index written by SaveIndex, verifying its checksums.
 // v2 files are mmap(2)ed and served zero-copy straight from the page cache
 // where the platform supports it — check (*Index).Mapped — and such indexes
