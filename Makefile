@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench kernel-bench index-bench batch-bench fuzz-replay
+.PHONY: verify build vet test race slo-race bench kernel-bench index-bench batch-bench slo-bench fuzz-replay
 
 verify: build vet test race
 
@@ -19,7 +19,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/serving ./internal/obs ./internal/metrics ./internal/cluster ./internal/kvstore ./client
+	$(GO) test -race ./internal/core ./internal/serving ./internal/obs/... ./internal/metrics ./internal/cluster ./internal/kvstore ./client
+
+# The SLO engine and its feeders under the race detector: rolling-window
+# accumulators, burn-rate trackers, tail retention, health snapshots.
+slo-race:
+	$(GO) test -race ./internal/obs/... ./internal/metrics ./internal/serving ./internal/cluster
 
 # All microbenchmarks, quick.
 bench: batch-bench
@@ -35,10 +40,17 @@ index-bench:
 
 # Batched scoring (B=1..64, remap on/off) and the result-cache hot path,
 # committed as the versioned BENCH_batch.json artifact.
-batch-bench:
+batch-bench: slo-bench
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchRecommend|BenchmarkRecommendCache|BenchmarkRecommendNoCache' -benchmem \
 		./internal/core ./internal/serving | $(GO) run ./tools/benchjson > BENCH_batch.json
 	@echo wrote BENCH_batch.json
+
+# Burn-rate-vs-RPS trajectory from the load harness, committed as the
+# versioned BENCH_slo.json artifact (the BENCHJSON line carries the rows).
+slo-bench:
+	$(GO) run ./cmd/serenade-loadtest -quick -slo-sweep -slo-latency-p99 5ms \
+		-rates 200,400 -per-rate 2s | $(GO) run ./tools/benchjson > BENCH_slo.json
+	@echo wrote BENCH_slo.json
 
 # Replay the loader fuzz seed corpus (both on-disk formats) without fuzzing.
 fuzz-replay:

@@ -4,10 +4,17 @@
 //
 //	serenade-loadtest -rps 1000 -duration 30s -replicas 2
 //	serenade-loadtest -sweep                      # §7 core-usage scaling
+//	serenade-loadtest -slo-sweep -slo-latency-p99 5ms   # burn rate vs RPS
+//
+// -slo-sweep additionally prints a `BENCHJSON slo_sweep <json>` line; piping
+// the output through tools/benchjson captures the trajectory as the
+// versioned BENCH_slo.json artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strconv"
@@ -16,6 +23,18 @@ import (
 
 	"serenade/internal/experiments"
 )
+
+func parseRates(raw string) []int {
+	var rs []int
+	for _, s := range strings.Split(raw, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad rate %q: %v", s, err)
+		}
+		rs = append(rs, v)
+	}
+	return rs
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,20 +54,27 @@ func main() {
 		cacheSz  = flag.Int("result-cache-size", 0, "replica single-flight result cache entries (0 disables)")
 		cacheTTL = flag.Duration("result-cache-ttl", 0, "result cache entry lifetime (0 = serving default)")
 		burst    = flag.Int("burst", 1, "replay each session under this many session keys (duplicate-heavy traffic)")
+		sloSweep = flag.Bool("slo-sweep", false, "run the burn-rate-vs-RPS sweep instead (uses -rates and -per-rate)")
+		sloP99   = flag.Duration("slo-latency-p99", 0, "replica latency objective; slower requests burn budget (0 = off, or 5ms for -slo-sweep)")
+		sloErr   = flag.Float64("slo-error-budget", 0, "fraction of requests allowed to fail (0 = error objective off)")
 	)
 	flag.Parse()
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	cfg := experiments.LoadTestConfig{
+		RPS:            *rps,
+		Duration:       *duration,
+		Replicas:       *replicas,
+		BatchWindow:    *batchWin,
+		BatchMax:       *batchMax,
+		CacheSize:      *cacheSz,
+		CacheTTL:       *cacheTTL,
+		Burst:          *burst,
+		SLOLatencyP99:  *sloP99,
+		SLOErrorBudget: *sloErr,
+	}
 
 	if *sweep {
-		var rs []int
-		for _, s := range strings.Split(*rates, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				log.Fatalf("bad rate %q: %v", s, err)
-			}
-			rs = append(rs, v)
-		}
-		rows, err := experiments.CoreScaling(rs, *perRate, opts)
+		rows, err := experiments.CoreScaling(parseRates(*rates), *perRate, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,16 +82,22 @@ func main() {
 		return
 	}
 
-	res, err := experiments.LoadTest(experiments.LoadTestConfig{
-		RPS:         *rps,
-		Duration:    *duration,
-		Replicas:    *replicas,
-		BatchWindow: *batchWin,
-		BatchMax:    *batchMax,
-		CacheSize:   *cacheSz,
-		CacheTTL:    *cacheTTL,
-		Burst:       *burst,
-	}, opts)
+	if *sloSweep {
+		rows, err := experiments.SLOSweep(parseRates(*rates), *perRate, cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.PrintSLOSweep(os.Stdout, rows)
+		// Machine-readable trajectory for tools/benchjson → BENCH_slo.json.
+		raw, err := json.Marshal(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("BENCHJSON slo_sweep %s\n", raw)
+		return
+	}
+
+	res, err := experiments.LoadTest(cfg, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,6 +54,9 @@ func main() {
 		cacheSize = flag.Int("result-cache-size", 0, "single-flight result cache entries (0 disables the cache)")
 		cacheTTL  = flag.Duration("result-cache-ttl", 0, "result cache entry lifetime (0 = default 5s)")
 		f32Scores = flag.Bool("float32-scores", false, "accumulate item scores in float32 (half the accumulator footprint; ranks may differ in ties)")
+		sloP99    = flag.Duration("slo-latency-p99", 50*time.Millisecond, "latency objective: requests slower than this burn error budget, tracked at /debug/slo (0 disables)")
+		sloBudget = flag.Float64("slo-latency-budget", 0, "fraction of requests allowed to exceed -slo-latency-p99 (0 = default 1%, a p99 objective)")
+		sloErr    = flag.Float64("slo-error-budget", 0.001, "fraction of requests allowed to fail before the error-rate SLO burns (0 disables)")
 	)
 	flag.Parse()
 	if *indexPath == "" {
@@ -108,6 +111,10 @@ func main() {
 		TraceRingSize:      *traceRing,
 		TraceSampleEvery:   *traceEach,
 		Logger:             logger,
+
+		SLOLatencyThreshold: *sloP99,
+		SLOLatencyBudget:    *sloBudget,
+		SLOErrorBudget:      *sloErr,
 	})
 	if err != nil {
 		log.Fatal(err)

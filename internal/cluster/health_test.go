@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/obs"
+	"serenade/internal/serving"
+	"serenade/internal/synth"
+)
+
+// TestProxyHealthFanOut drives traffic through a proxy in front of real
+// backends and checks that GET /proxy/health aggregates every replica's
+// overload signal, keyed and stamped with the backend name.
+func TestProxyHealthFanOut(t *testing.T) {
+	ds, err := synth.Generate(synth.Small(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := NewProxy()
+	for i := 0; i < 2; i++ {
+		srv, err := serving.NewServer(idx, serving.Config{
+			Params:              core.Params{M: 100, K: 50},
+			SLOLatencyThreshold: time.Nanosecond, // every request burns budget
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { srv.Close() })
+		u, _ := url.Parse(ts.URL)
+		proxy.AddBackend(fmt.Sprintf("pod-%d", i), u)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	// Enough distinct sessions that the ring lands traffic on both pods.
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/recommend?session_id=s%d&item_id=1", front.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(front.URL + "/proxy/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Replicas map[string]obs.HealthSignal `json:"replicas"`
+		Errors   map[string]string           `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Errors) != 0 {
+		t.Fatalf("healthy backends reported errors: %v", out.Errors)
+	}
+	if len(out.Replicas) != 2 {
+		t.Fatalf("got %d replicas, want 2: %v", len(out.Replicas), out.Replicas)
+	}
+	for name, sig := range out.Replicas {
+		if sig.Replica != name {
+			t.Errorf("replica %s: signal stamped %q", name, sig.Replica)
+		}
+		if sig.Goroutines == 0 || sig.Time.IsZero() {
+			t.Errorf("replica %s: runtime fields unfilled: %+v", name, sig)
+		}
+		if !sig.FastBurn {
+			t.Errorf("replica %s: 1ns threshold did not burn: %+v", name, sig)
+		}
+	}
+}
+
+// TestProxyHealthUnreachableBackend points one backend at a closed port: the
+// aggregate must still return, with the dead pod under errors and the live
+// one under replicas.
+func TestProxyHealthUnreachableBackend(t *testing.T) {
+	proxy, _ := startBackends(t, 1)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL, _ := url.Parse(dead.URL)
+	dead.Close() // port is now refused
+	proxy.AddBackend("pod-dead", deadURL)
+
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/proxy/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Replicas map[string]obs.HealthSignal `json:"replicas"`
+		Errors   map[string]string           `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.Replicas["pod-0"]; !ok {
+		t.Errorf("live backend missing from replicas: %v", out.Replicas)
+	}
+	if _, ok := out.Errors["pod-dead"]; !ok {
+		t.Errorf("dead backend missing from errors: %v", out.Errors)
+	}
+}
+
+// TestPoolHealth checks the in-process analogue: per-replica signals keyed
+// and stamped by pod name.
+func TestPoolHealth(t *testing.T) {
+	ds, err := synth.Generate(synth.Small(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(idx, serving.Config{Params: core.Params{M: 100, K: 50}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Recommend(serving.Request{SessionKey: fmt.Sprintf("s%d", i), Item: 1, Consent: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	health := pool.Health()
+	if len(health) != 3 {
+		t.Fatalf("got %d signals, want 3", len(health))
+	}
+	for name, sig := range health {
+		if sig.Replica != name {
+			t.Errorf("replica %s stamped %q", name, sig.Replica)
+		}
+		if sig.Goroutines == 0 {
+			t.Errorf("replica %s: runtime fields unfilled", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"serenade/internal/core"
+	"serenade/internal/obs"
 	"serenade/internal/serving"
 )
 
@@ -99,6 +100,21 @@ func (p *Pool) Stats() map[string]serving.Stats {
 	out := make(map[string]serving.Stats, len(p.replicas))
 	for name, srv := range p.replicas {
 		out[name] = srv.Stats()
+	}
+	return out
+}
+
+// Health snapshots every replica's overload telemetry, keyed and stamped by
+// replica name — the in-process analogue of the proxy's /proxy/health fan-out.
+// A load test consumes this to correlate burn rate with offered load per pod.
+func (p *Pool) Health() map[string]obs.HealthSignal {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]obs.HealthSignal, len(p.replicas))
+	for name, srv := range p.replicas {
+		h := srv.Health()
+		h.Replica = name
+		out[name] = h
 	}
 	return out
 }

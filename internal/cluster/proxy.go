@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
 	"sync"
+	"time"
 
 	"serenade/internal/obs"
 )
@@ -26,17 +28,21 @@ import (
 // untouched), so the backend's span records the hop as its parent. It keeps
 // per-backend request/error/retry counters in its own metrics registry,
 // scrapeable at GET /proxy/metrics.prom, and retries idempotent requests
-// once on a transport failure before answering 502.
+// once on a transport failure before answering 502. GET /proxy/health fans
+// out to every backend's /debug/health and returns the overload signals
+// keyed by replica name.
 type Proxy struct {
 	mu       sync.RWMutex
 	ring     *Ring
 	backends map[string]*backend
 	reg      *obs.Registry
+	health   *http.Client
 }
 
 // backend is one upstream with its forwarding proxy and traffic counters.
 type backend struct {
 	rp       *httputil.ReverseProxy
+	target   *url.URL
 	requests *obs.Counter
 	errors   *obs.Counter
 	retries  *obs.Counter
@@ -55,6 +61,9 @@ func NewProxy() *Proxy {
 		ring:     NewRing(0),
 		backends: make(map[string]*backend),
 		reg:      obs.NewRegistry(),
+		// Short timeout so one wedged replica cannot stall the aggregate
+		// /proxy/health view the autoscaler or load test is polling.
+		health: &http.Client{Timeout: 2 * time.Second},
 	}
 }
 
@@ -77,11 +86,13 @@ func (p *Proxy) AddBackend(name string, target *url.URL) {
 	defer p.mu.Unlock()
 	if b, exists := p.backends[name]; exists {
 		b.rp = rp
+		b.target = target
 		return
 	}
 	p.ring.Add(name)
 	p.backends[name] = &backend{
 		rp:       rp,
+		target:   target,
 		requests: p.reg.Counter("serenade_proxy_backend_requests_total", "Requests forwarded per backend.", "backend", name),
 		errors:   p.reg.Counter("serenade_proxy_backend_errors_total", "Forwarding failures per backend (after retries).", "backend", name),
 		retries:  p.reg.Counter("serenade_proxy_backend_retries_total", "Idempotent retries per backend.", "backend", name),
@@ -119,11 +130,78 @@ func retryable(r *http.Request) bool {
 	return false
 }
 
+// handleHealth fans a GET /debug/health out to every backend concurrently
+// and aggregates the per-replica overload signals, keyed by backend name.
+// Unreachable replicas appear under "errors" instead of silently vanishing —
+// a wedged pod is exactly the one the operator needs to see.
+func (p *Proxy) handleHealth(w http.ResponseWriter, r *http.Request) {
+	p.mu.RLock()
+	targets := make(map[string]*url.URL, len(p.backends))
+	for name, b := range p.backends {
+		targets[name] = b.target
+	}
+	p.mu.RUnlock()
+
+	type result struct {
+		name string
+		sig  obs.HealthSignal
+		err  error
+	}
+	results := make(chan result, len(targets))
+	for name, target := range targets {
+		go func(name string, target *url.URL) {
+			res := result{name: name}
+			res.sig, res.err = p.fetchHealth(r.Context(), target)
+			results <- res
+		}(name, target)
+	}
+	out := struct {
+		Replicas map[string]obs.HealthSignal `json:"replicas"`
+		Errors   map[string]string           `json:"errors,omitempty"`
+	}{Replicas: make(map[string]obs.HealthSignal, len(targets))}
+	for range targets {
+		res := <-results
+		if res.err != nil {
+			if out.Errors == nil {
+				out.Errors = make(map[string]string)
+			}
+			out.Errors[res.name] = res.err.Error()
+			continue
+		}
+		res.sig.Replica = res.name
+		out.Replicas[res.name] = res.sig
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// fetchHealth retrieves one backend's /debug/health snapshot.
+func (p *Proxy) fetchHealth(ctx context.Context, target *url.URL) (obs.HealthSignal, error) {
+	var sig obs.HealthSignal
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.JoinPath("debug", "health").String(), nil)
+	if err != nil {
+		return sig, err
+	}
+	resp, err := p.health.Do(req)
+	if err != nil {
+		return sig, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&sig); err != nil {
+		return sig, err
+	}
+	return sig, nil
+}
+
 // ServeHTTP implements http.Handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet && r.URL.Path == "/proxy/metrics.prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		p.reg.WritePrometheus(w)
+		return
+	}
+	if r.Method == http.MethodGet && r.URL.Path == "/proxy/health" {
+		p.handleHealth(w, r)
 		return
 	}
 	key := SessionKey(r)

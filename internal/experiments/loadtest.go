@@ -9,6 +9,8 @@ import (
 	"serenade/internal/cluster"
 	"serenade/internal/core"
 	"serenade/internal/loadgen"
+	"serenade/internal/obs"
+	"serenade/internal/obs/slo"
 	"serenade/internal/serving"
 )
 
@@ -32,6 +34,12 @@ type LoadTestConfig struct {
 	// interleaved — the duplicate-heavy traffic the cache absorbs (<= 1
 	// replays each session once).
 	Burst int
+	// SLOLatencyP99 sets the replicas' latency objective: requests slower
+	// than this burn error budget (0 = objective disabled).
+	SLOLatencyP99 time.Duration
+	// SLOErrorBudget is the fraction of requests allowed to fail
+	// (0 = error-rate objective disabled).
+	SLOErrorBudget float64
 }
 
 // ReplicaStats is one replica's serving counters after a load test.
@@ -40,12 +48,23 @@ type ReplicaStats struct {
 	serving.Stats
 }
 
+// ReplicaSLO is one replica's post-test SLO burn picture paired with its
+// overload telemetry snapshot.
+type ReplicaSLO struct {
+	Name   string
+	State  slo.EndpointState
+	Health obs.HealthSignal
+}
+
 // LoadTestResult bundles the load generator's time series with the
 // per-replica serving breakdown (requests, errors, per-stage latency) the
 // paper's Grafana dashboards show per pod.
 type LoadTestResult struct {
 	*loadgen.Result
 	Replicas []ReplicaStats
+	// SLO holds the burn state per replica; empty unless an objective was
+	// configured (SLOLatencyP99 or SLOErrorBudget).
+	SLO []ReplicaSLO
 }
 
 // LoadTest reproduces §5.2.2 / Figure 3(b): replay historical traffic at a
@@ -74,11 +93,13 @@ func LoadTest(cfg LoadTestConfig, opts Options) (*LoadTestResult, error) {
 		return nil, err
 	}
 	pool, err := cluster.NewPool(idx, serving.Config{
-		Params:          core.Params{M: 500, K: 100},
-		BatchWindow:     cfg.BatchWindow,
-		BatchMax:        cfg.BatchMax,
-		ResultCacheSize: cfg.CacheSize,
-		ResultCacheTTL:  cfg.CacheTTL,
+		Params:              core.Params{M: 500, K: 100},
+		BatchWindow:         cfg.BatchWindow,
+		BatchMax:            cfg.BatchMax,
+		ResultCacheSize:     cfg.CacheSize,
+		ResultCacheTTL:      cfg.CacheTTL,
+		SLOLatencyThreshold: cfg.SLOLatencyP99,
+		SLOErrorBudget:      cfg.SLOErrorBudget,
 	}, cfg.Replicas)
 	if err != nil {
 		return nil, err
@@ -104,7 +125,30 @@ func LoadTest(cfg LoadTestConfig, opts Options) (*LoadTestResult, error) {
 		out.Replicas = append(out.Replicas, ReplicaStats{Name: name, Stats: st})
 	}
 	sort.Slice(out.Replicas, func(i, j int) bool { return out.Replicas[i].Name < out.Replicas[j].Name })
+	if cfg.SLOLatencyP99 > 0 || cfg.SLOErrorBudget > 0 {
+		out.SLO = snapshotSLO(pool)
+	}
 	return out, nil
+}
+
+// snapshotSLO pairs each replica's SLO endpoint state with its overload
+// telemetry, sorted by name.
+func snapshotSLO(pool *cluster.Pool) []ReplicaSLO {
+	health := pool.Health()
+	var out []ReplicaSLO
+	for _, name := range pool.Replicas() {
+		srv, ok := pool.Replica(name)
+		if !ok {
+			continue
+		}
+		st, ok := srv.SLO().Endpoint("recommend")
+		if !ok {
+			continue
+		}
+		out = append(out, ReplicaSLO{Name: name, State: st, Health: health[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // PrintLoadTest renders the per-bucket series, the overall percentiles, and
@@ -167,6 +211,7 @@ func PrintLoadTest(w io.Writer, res *LoadTestResult) {
 		rcells = append(rcells, row)
 	}
 	printTable(w, rheader, rcells)
+	printBurnTable(w, res.SLO)
 
 	// Batching / result-cache accounting, when either feature was on.
 	active := false
@@ -204,6 +249,40 @@ func PrintLoadTest(w io.Writer, res *LoadTestResult) {
 		})
 	}
 	printTable(w, cheader, ccells)
+}
+
+// printBurnTable renders each replica's burn rate against the load it
+// absorbed — the "is this rate sustainable against the objective" view.
+func printBurnTable(w io.Writer, rows []ReplicaSLO) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nSLO burn rate vs load (objective: %s)\n", rows[0].State.Objective)
+	header := []string{"replica", "requests", "burn 1m", "burn 5m", "burn 1h", "fast", "slow", "budget left", "queue", "inflight"}
+	var cells [][]string
+	for _, rep := range rows {
+		row := []string{rep.Name}
+		if len(rep.State.Windows) > 0 {
+			row = append(row, fmt.Sprintf("%d", rep.State.Windows[0].Total))
+		} else {
+			row = append(row, "-")
+		}
+		for _, win := range rep.State.Windows {
+			row = append(row, fmt.Sprintf("%.2f", max(win.LatencyBurnRate, win.ErrorBurnRate)))
+		}
+		for len(row) < 5 {
+			row = append(row, "-")
+		}
+		row = append(row,
+			fmt.Sprintf("%v", rep.State.FastBurn),
+			fmt.Sprintf("%v", rep.State.SlowBurn),
+			fmt.Sprintf("%.0f%%", 100*rep.State.BudgetRemaining),
+			fmt.Sprintf("%d", rep.Health.BatchQueueDepth),
+			fmt.Sprintf("%d", rep.Health.InFlight),
+		)
+		cells = append(cells, row)
+	}
+	printTable(w, header, cells)
 }
 
 // CoreScalingRow is one rate's core usage (§5.2.3 / §7 cost discussion).
@@ -263,6 +342,116 @@ func CoreScaling(rates []int, perRate time.Duration, opts Options) ([]CoreScalin
 		})
 	}
 	return rows, nil
+}
+
+// SLOSweepRow is one target rate's burn picture: a point on the
+// burn-rate-vs-RPS trajectory that locates the knee where the deployment
+// stops meeting its objective. The JSON tags shape the BENCH_slo.json
+// artifact (via the benchjson BENCHJSON passthrough).
+type SLOSweepRow struct {
+	RPS             int     `json:"rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	P995Micros      float64 `json:"p995_us"`
+	Errors          uint64  `json:"errors"`
+	BurnRate        float64 `json:"burn_rate"`
+	FastBurn        bool    `json:"fast_burn"`
+	SlowBurn        bool    `json:"slow_burn"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// SLOSweep drives the replay workload at increasing target rates and records
+// the worst replica burn at each: the trajectory an operator reads to find
+// the highest sustainable rate under the objective. Each rate gets a fresh
+// pool so one rate's burn windows cannot contaminate the next measurement.
+func SLOSweep(rates []int, perRate time.Duration, cfg LoadTestConfig, opts Options) ([]SLOSweepRow, error) {
+	if len(rates) == 0 {
+		rates = []int{200, 400, 800, 1600}
+	}
+	if perRate <= 0 {
+		perRate = 5 * time.Second
+	}
+	if cfg.SLOLatencyP99 <= 0 {
+		cfg.SLOLatencyP99 = 5 * time.Millisecond
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	profile := "ecom-60m-sim"
+	if opts.Quick {
+		profile = "retailrocket-sim"
+	}
+	train, test, err := prepProfile(profile, opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := core.BuildIndex(train, 500)
+	if err != nil {
+		return nil, err
+	}
+	workload := loadgen.BurstWorkload(test, 0, cfg.Burst)
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("experiments: empty replay workload")
+	}
+
+	var rows []SLOSweepRow
+	for _, rps := range rates {
+		pool, err := cluster.NewPool(idx, serving.Config{
+			Params:              core.Params{M: 500, K: 100},
+			BatchWindow:         cfg.BatchWindow,
+			BatchMax:            cfg.BatchMax,
+			ResultCacheSize:     cfg.CacheSize,
+			ResultCacheTTL:      cfg.CacheTTL,
+			SLOLatencyThreshold: cfg.SLOLatencyP99,
+			SLOErrorBudget:      cfg.SLOErrorBudget,
+		}, cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		res, err := loadgen.Run(loadgen.Config{TargetRPS: rps, Duration: perRate}, func(i uint64) error {
+			_, err := pool.Recommend(workload[i%uint64(len(workload))])
+			return err
+		})
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		row := SLOSweepRow{
+			RPS:             rps,
+			AchievedRPS:     res.AchievedRPS,
+			P995Micros:      float64(res.Total.Percentile(99.5)) / float64(time.Microsecond),
+			Errors:          res.Errors,
+			BudgetRemaining: 1,
+		}
+		for _, rep := range snapshotSLO(pool) {
+			row.BurnRate = max(row.BurnRate, rep.Health.BurnRate)
+			row.FastBurn = row.FastBurn || rep.State.FastBurn
+			row.SlowBurn = row.SlowBurn || rep.State.SlowBurn
+			row.BudgetRemaining = min(row.BudgetRemaining, rep.State.BudgetRemaining)
+		}
+		rows = append(rows, row)
+		pool.Close()
+	}
+	return rows, nil
+}
+
+// PrintSLOSweep renders the burn-rate-vs-RPS trajectory.
+func PrintSLOSweep(w io.Writer, rows []SLOSweepRow) {
+	fmt.Fprintln(w, "SLO burn rate vs request rate (worst replica per rate)")
+	header := []string{"target req/s", "achieved", "p99.5", "errors", "burn rate", "fast", "slow", "budget left"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.RPS),
+			fmt.Sprintf("%.0f", r.AchievedRPS),
+			(time.Duration(r.P995Micros) * time.Microsecond).String(),
+			fmt.Sprintf("%d", r.Errors),
+			fmt.Sprintf("%.2f", r.BurnRate),
+			fmt.Sprintf("%v", r.FastBurn),
+			fmt.Sprintf("%v", r.SlowBurn),
+			fmt.Sprintf("%.0f%%", 100*r.BudgetRemaining),
+		})
+	}
+	printTable(w, header, cells)
 }
 
 // PrintCoreScaling renders the sweep.

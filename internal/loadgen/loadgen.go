@@ -37,12 +37,46 @@ type Config struct {
 type BucketPoint struct {
 	Offset   time.Duration
 	Requests uint64
-	P75      time.Duration
-	P90      time.Duration
-	P995     time.Duration
+	// Errors counts failed requests in the bucket, including dispatches
+	// dropped because the workers were saturated — the per-bucket error
+	// series an SLO burn-rate trajectory is read against.
+	Errors uint64
+	P75    time.Duration
+	P90    time.Duration
+	P995   time.Duration
 	// Cores is the average number of CPU cores busy during the bucket
 	// (process-wide), the "core usage" curve of Figure 3(b).
 	Cores float64
+}
+
+// bucketCounter is a mutex-protected per-bucket event counter aligned with
+// the latency series buckets.
+type bucketCounter struct {
+	bucket time.Duration
+	mu     sync.Mutex
+	counts []uint64
+}
+
+func (c *bucketCounter) inc(offset time.Duration) {
+	if offset < 0 {
+		offset = 0
+	}
+	idx := int(offset / c.bucket)
+	c.mu.Lock()
+	for len(c.counts) <= idx {
+		c.counts = append(c.counts, 0)
+	}
+	c.counts[idx]++
+	c.mu.Unlock()
+}
+
+func (c *bucketCounter) at(i int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.counts) {
+		return 0
+	}
+	return c.counts[i]
 }
 
 // Result summarises a load test.
@@ -73,6 +107,7 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 	}
 
 	series := metrics.NewSeries(cfg.Bucket)
+	errSeries := &bucketCounter{bucket: cfg.Bucket}
 	var sent, errs atomic.Uint64
 	queue := make(chan uint64, cfg.TargetRPS) // one second of headroom
 	var wg sync.WaitGroup
@@ -89,6 +124,7 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 				series.Record(began.Sub(start), elapsed)
 				if err != nil {
 					errs.Add(1)
+					errSeries.inc(began.Sub(start))
 				}
 			}
 		}()
@@ -116,6 +152,7 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 				// The workers are saturated; the request is dropped, which
 				// is what a production load balancer would do past SLA.
 				errs.Add(1)
+				errSeries.inc(time.Since(start))
 			}
 		}
 		next = next.Add(slice)
@@ -134,6 +171,7 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 		p := BucketPoint{
 			Offset:   sp.Offset,
 			Requests: sp.Requests,
+			Errors:   errSeries.at(i),
 			P75:      sp.P75,
 			P90:      sp.P90,
 			P995:     sp.P995,

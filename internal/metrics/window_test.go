@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for driving windows deterministically.
+type fakeClock struct{ sec atomic.Int64 }
+
+func (c *fakeClock) now() time.Time  { return time.Unix(c.sec.Load(), 0) }
+func (c *fakeClock) set(s int64)     { c.sec.Store(s) }
+func (c *fakeClock) advance(d int64) { c.sec.Add(d) }
+
+func TestWindowedCounterDeterministic(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1000)
+	w := NewWindowedCounter(time.Hour, clk.now)
+
+	// 100 requests at t=1000, 5 slow, 2 errors.
+	for i := 0; i < 100; i++ {
+		var slow, errs uint64
+		if i < 5 {
+			slow = 1
+		}
+		if i < 2 {
+			errs = 1
+		}
+		w.Add(1, slow, errs)
+	}
+	if tot, slow, errs := w.Sum(time.Minute); tot != 100 || slow != 5 || errs != 2 {
+		t.Fatalf("Sum(1m) = (%d,%d,%d), want (100,5,2)", tot, slow, errs)
+	}
+
+	// 30 seconds later another 50 clean requests: the 1m window sees both.
+	clk.advance(30)
+	for i := 0; i < 50; i++ {
+		w.Add(1, 0, 0)
+	}
+	if tot, slow, _ := w.Sum(time.Minute); tot != 150 || slow != 5 {
+		t.Fatalf("Sum(1m) after 30s = (%d,%d), want (150,5)", tot, slow)
+	}
+	// A 10s window sees only the recent batch.
+	if tot, slow, _ := w.Sum(10 * time.Second); tot != 50 || slow != 0 {
+		t.Fatalf("Sum(10s) = (%d,%d), want (50,0)", tot, slow)
+	}
+
+	// 2 minutes later the first batch has left the 1m window but not the 5m.
+	clk.advance(120)
+	if tot, _, _ := w.Sum(time.Minute); tot != 0 {
+		t.Fatalf("Sum(1m) after expiry = %d, want 0", tot)
+	}
+	if tot, slow, errs := w.Sum(5 * time.Minute); tot != 150 || slow != 5 || errs != 2 {
+		t.Fatalf("Sum(5m) = (%d,%d,%d), want (150,5,2)", tot, slow, errs)
+	}
+
+	// Past the horizon everything ages out, including recycled slots.
+	clk.advance(3700)
+	if tot, _, _ := w.Sum(time.Hour); tot != 0 {
+		t.Fatalf("Sum(1h) after horizon = %d, want 0", tot)
+	}
+}
+
+// TestWindowedCounterRecycling checks that a bucket slot reused for a new
+// second (same index modulo horizon) does not leak the old second's counts.
+func TestWindowedCounterRecycling(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(7)
+	w := NewWindowedCounter(10*time.Second, clk.now)
+	w.Add(1, 1, 0)
+	clk.advance(10) // lands on the same slot: 17 % 10 == 7 % 10
+	w.Add(1, 0, 0)
+	if tot, slow, _ := w.Sum(10 * time.Second); tot != 1 || slow != 0 {
+		t.Fatalf("recycled slot leaked old counts: (%d,%d), want (1,0)", tot, slow)
+	}
+}
+
+func TestWindowedCounterClampsWindow(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(100)
+	w := NewWindowedCounter(10*time.Second, clk.now)
+	w.Add(1, 0, 0)
+	// Asking beyond the horizon clamps instead of misindexing.
+	if tot, _, _ := w.Sum(time.Hour); tot != 1 {
+		t.Fatalf("clamped Sum = %d, want 1", tot)
+	}
+	if w.Horizon() != 10*time.Second {
+		t.Fatalf("Horizon = %v", w.Horizon())
+	}
+}
+
+func TestWindowedMaxDeterministic(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(500)
+	w := NewWindowedMax(time.Minute, clk.now)
+	w.Observe(10)
+	w.Observe(300)
+	w.Observe(50)
+	if m := w.Max(time.Minute); m != 300 {
+		t.Fatalf("Max = %d, want 300", m)
+	}
+	clk.advance(30)
+	w.Observe(80)
+	if m := w.Max(10 * time.Second); m != 80 {
+		t.Fatalf("Max(10s) = %d, want 80", m)
+	}
+	if m := w.Max(time.Minute); m != 300 {
+		t.Fatalf("Max(1m) = %d, want 300", m)
+	}
+	clk.advance(120)
+	if m := w.Max(time.Minute); m != 0 {
+		t.Fatalf("Max after expiry = %d, want 0", m)
+	}
+}
+
+// TestWindowedCounterConcurrent hammers Add/Sum from many goroutines while
+// the clock advances; run under -race this is the burn-rate accumulator's
+// concurrency proof. Counts may drop at second boundaries (documented), so
+// the assertion is a bound, not equality.
+func TestWindowedCounterConcurrent(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1)
+	w := NewWindowedCounter(time.Hour, clk.now)
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // reader
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Sum(time.Minute)
+			}
+		}
+	}()
+	go func() { // clock mover: a few boundary crossings mid-run
+		for i := 0; i < 4; i++ {
+			time.Sleep(time.Millisecond)
+			clk.advance(1)
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				w.Add(1, uint64(i&1), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	tot, slow, _ := w.Sum(time.Hour)
+	if tot > writers*perWriter || slow > tot {
+		t.Fatalf("impossible totals: tot=%d slow=%d", tot, slow)
+	}
+	// Allow up to one lost add per lane per writer per boundary crossing.
+	if min := uint64(writers*perWriter - writers*8); tot < min {
+		t.Fatalf("lost too many counts: tot=%d, want ≥%d", tot, min)
+	}
+}
+
+func TestWindowedMaxConcurrent(t *testing.T) {
+	w := NewWindowedMax(time.Minute, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				w.Observe(uint64(g*2000 + i))
+				w.Max(time.Minute)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m := w.Max(time.Minute); m != 8*2000-1 {
+		t.Fatalf("Max = %d, want %d", m, 8*2000-1)
+	}
+}
+
+// TestWindowRecordPathAllocs asserts the acceptance criterion: the rolling
+// accumulators are allocation-free on their record paths.
+func TestWindowRecordPathAllocs(t *testing.T) {
+	w := NewWindowedCounter(time.Hour, nil)
+	if n := testing.AllocsPerRun(1000, func() { w.Add(1, 1, 0) }); n != 0 {
+		t.Fatalf("WindowedCounter.Add allocates %.1f/op, want 0", n)
+	}
+	m := NewWindowedMax(time.Minute, nil)
+	if n := testing.AllocsPerRun(1000, func() { m.Observe(42) }); n != 0 {
+		t.Fatalf("WindowedMax.Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func BenchmarkWindowedCounterAdd(b *testing.B) {
+	w := NewWindowedCounter(time.Hour, nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			w.Add(1, 1, 0)
+		}
+	})
+}
+
+func BenchmarkWindowedMaxObserve(b *testing.B) {
+	w := NewWindowedMax(time.Minute, nil)
+	b.ReportAllocs()
+	var v uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v++
+			w.Observe(v)
+		}
+	})
+}

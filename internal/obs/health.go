@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// HealthSignal is one replica's overload telemetry snapshot: the leading
+// indicators admission control needs (queue depth, queue-wait watermarks,
+// in-flight requests) next to the trailing ones (burn rates, hit ratios, GC
+// pressure). Serving fills it, the cluster proxy republishes it per backend
+// at /proxy/health, and the load tester prints it against the offered load.
+//
+// Durations serialise as nanoseconds, matching /debug/traces.
+type HealthSignal struct {
+	Replica string    `json:"replica,omitempty"`
+	Time    time.Time `json:"time"`
+
+	// Request pressure.
+	InFlight int64 `json:"in_flight"`
+
+	// Batcher pressure: instantaneous queue depth plus rolling queue-wait
+	// high-watermarks — the overload symptom averages hide.
+	BatchQueueDepth int           `json:"batch_queue_depth"`
+	BatchWaitMax10s time.Duration `json:"batch_wait_max_10s_ns"`
+	BatchWaitMax1m  time.Duration `json:"batch_wait_max_1m_ns"`
+
+	// Result-cache effectiveness over rolling windows; a falling short-window
+	// ratio under rising load means the cache is churning, not absorbing.
+	CacheLookups1m   uint64  `json:"cache_lookups_1m"`
+	CacheHitRatio10s float64 `json:"cache_hit_ratio_10s"`
+	CacheHitRatio1m  float64 `json:"cache_hit_ratio_1m"`
+
+	// SLO burn summary (worst endpoint).
+	BurnRate float64 `json:"slo_burn_rate"`
+	FastBurn bool    `json:"slo_fast_burn"`
+	SlowBurn bool    `json:"slo_slow_burn"`
+
+	// Runtime pressure.
+	Goroutines   int           `json:"goroutines"`
+	HeapAlloc    uint64        `json:"heap_alloc_bytes"`
+	LastGCPause  time.Duration `json:"last_gc_pause_ns"`
+	GCPauseTotal time.Duration `json:"gc_pause_total_ns"`
+}
+
+// FillRuntime populates the runtime-pressure fields from the Go runtime.
+// ReadMemStats stops the world briefly; health is polled at human frequency,
+// not per request, so that cost is acceptable here.
+func (h *HealthSignal) FillRuntime() {
+	h.Goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.HeapAlloc = ms.HeapAlloc
+	h.GCPauseTotal = time.Duration(ms.PauseTotalNs)
+	if ms.NumGC > 0 {
+		h.LastGCPause = time.Duration(ms.PauseNs[(ms.NumGC+255)%256])
+	}
+}

@@ -1,0 +1,361 @@
+// Package slo is Serenade's error-budget engine: per-endpoint latency and
+// error objectives tracked over multiple rolling windows with burn-rate
+// computation, in the multi-window multi-burn-rate style of the Google SRE
+// workbook. The serving tier records every request into it (0 allocs, no
+// locks on the record path); operators read it three ways — GET /debug/slo
+// (JSON), serenade_slo_* gauges in the Prometheus exposition, and the
+// fast/slow-burn booleans the health signal and the slow-query log embed.
+//
+// The paper's headline claim is itself an SLO — sub-millisecond-scale
+// predictions under heavy load (§5.2) — and this package turns that from a
+// post-hoc histogram read into an operated objective: "is the p99 budget
+// burning, and how fast" is answerable at any instant, which is also the
+// admission-control input the distributed-cluster roadmap item needs.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"serenade/internal/metrics"
+	"serenade/internal/obs"
+)
+
+// Objective declares what the serving tier promises for one endpoint.
+type Objective struct {
+	// LatencyThreshold is the latency target: a request at or above it is
+	// "slow" and spends latency budget. Zero disables the latency objective.
+	LatencyThreshold time.Duration `json:"latency_threshold_ns"`
+	// LatencyBudget is the allowed slow fraction; 0.01 makes LatencyThreshold
+	// a p99 target, 0.005 a p99.5 target. Zero means DefaultLatencyBudget.
+	LatencyBudget float64 `json:"latency_budget"`
+	// ErrorBudget is the allowed failed-request fraction. Zero disables the
+	// error objective (set it explicitly; errors are not free by default
+	// only because an objective of exactly 0 cannot be divided by).
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// DefaultLatencyBudget makes the latency threshold a p99 objective when
+// Objective.LatencyBudget is zero.
+const DefaultLatencyBudget = 0.01
+
+// Windows are the rolling windows burn rates are computed over: a fast
+// window that reacts within a minute, a mid window that smooths bursts, and
+// the slow window that accumulates budget history. The horizon of the
+// underlying accumulator is the last entry.
+var Windows = [3]time.Duration{time.Minute, 5 * time.Minute, time.Hour}
+
+// Burn-rate alert thresholds, scaled from the SRE workbook's multiwindow
+// policy to this engine's 1h horizon: a fast burn (page) means the budget is
+// burning ≥14.4x faster than sustainable — a 1% budget would be gone in
+// minutes — confirmed by both the 1m and 5m windows so a single straggler
+// cannot page. A slow burn (ticket) means a ≥6x sustained burn confirmed by
+// the 5m and 1h windows.
+const (
+	FastBurnRate = 14.4
+	SlowBurnRate = 6.0
+)
+
+// Tracker accumulates one endpoint's request outcomes. Record is the hot
+// path: wait-free, allocation-free, safe for any number of concurrent
+// callers.
+type Tracker struct {
+	endpoint string
+	obj      Objective
+	win      *metrics.WindowedCounter
+}
+
+// Record classifies one finished request against the objective.
+func (t *Tracker) Record(total time.Duration, isErr bool) {
+	var slow, errs uint64
+	if t.obj.LatencyThreshold > 0 && total >= t.obj.LatencyThreshold {
+		slow = 1
+	}
+	if isErr {
+		errs = 1
+	}
+	t.win.Add(1, slow, errs)
+}
+
+// Objective returns the tracked objective.
+func (t *Tracker) Objective() Objective { return t.obj }
+
+// WindowState is one rolling window's burn arithmetic for one endpoint.
+type WindowState struct {
+	Window        string  `json:"window"`
+	Total         uint64  `json:"total"`
+	Slow          uint64  `json:"slow"`
+	Errors        uint64  `json:"errors"`
+	SlowFraction  float64 `json:"slow_fraction"`
+	ErrorFraction float64 `json:"error_fraction"`
+	// LatencyBurnRate is SlowFraction / LatencyBudget: 1.0 burns the budget
+	// exactly as fast as it refills, >1 is over budget. Zero when the
+	// latency objective is disabled.
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+	// ErrorBurnRate is ErrorFraction / ErrorBudget; zero when disabled.
+	ErrorBurnRate float64 `json:"error_burn_rate"`
+}
+
+// EndpointState is one endpoint's full SLO view at GET /debug/slo.
+type EndpointState struct {
+	Endpoint  string        `json:"endpoint"`
+	Objective Objective     `json:"objective"`
+	Windows   []WindowState `json:"windows"`
+	// FastBurn is the page condition: burn ≥ FastBurnRate in both the 1m and
+	// 5m windows (for either objective).
+	FastBurn bool `json:"fast_burn"`
+	// SlowBurn is the ticket condition: burn ≥ SlowBurnRate in both the 5m
+	// and 1h windows.
+	SlowBurn bool `json:"slow_burn"`
+	// BudgetRemaining is the fraction of the combined budget left over the
+	// 1h window: 1 - max(latency burn, error burn), floored at 0. 1.0 means
+	// an untouched budget.
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// Engine tracks objectives for a set of endpoints. Trackers are created
+// lazily (or eagerly via Tracker) and live forever; the read paths — State,
+// Handler, the registered gauges — never block writers.
+type Engine struct {
+	def Objective
+	now func() time.Time
+
+	mu       sync.RWMutex
+	trackers map[string]*Tracker
+	order    []string
+	reg      *obs.Registry // non-nil once RegisterMetrics ran; late trackers self-register
+}
+
+// NewEngine creates an engine whose endpoints default to def. now injects a
+// clock for deterministic tests; nil means time.Now.
+func NewEngine(def Objective, now func() time.Time) *Engine {
+	if def.LatencyThreshold > 0 && def.LatencyBudget <= 0 {
+		def.LatencyBudget = DefaultLatencyBudget
+	}
+	return &Engine{def: def, now: now, trackers: make(map[string]*Tracker)}
+}
+
+// Tracker returns the endpoint's tracker, creating it against the engine
+// default objective if needed. Callers on the request path should resolve
+// their tracker once and keep it: the returned Tracker's Record is the
+// 0-alloc path, while this lookup takes a read lock.
+func (e *Engine) Tracker(endpoint string) *Tracker {
+	e.mu.RLock()
+	t := e.trackers[endpoint]
+	e.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	return e.TrackerWithObjective(endpoint, e.def)
+}
+
+// TrackerWithObjective returns the endpoint's tracker, creating it with the
+// given objective if it does not exist yet (an existing tracker keeps its
+// original objective).
+func (e *Engine) TrackerWithObjective(endpoint string, obj Objective) *Tracker {
+	if obj.LatencyThreshold > 0 && obj.LatencyBudget <= 0 {
+		obj.LatencyBudget = DefaultLatencyBudget
+	}
+	e.mu.Lock()
+	t := e.trackers[endpoint]
+	if t == nil {
+		t = &Tracker{
+			endpoint: endpoint,
+			obj:      obj,
+			win:      metrics.NewWindowedCounter(Windows[len(Windows)-1], e.now),
+		}
+		e.trackers[endpoint] = t
+		e.order = append(e.order, endpoint)
+	}
+	reg := e.reg
+	e.mu.Unlock()
+	if reg != nil {
+		e.registerTracker(reg, t)
+	}
+	return t
+}
+
+// state computes one tracker's current view.
+func (e *Engine) state(t *Tracker) EndpointState {
+	st := EndpointState{Endpoint: t.endpoint, Objective: t.obj, BudgetRemaining: 1}
+	burns := make([]float64, len(Windows)) // max(latency, error) burn per window
+	for i, w := range Windows {
+		total, slow, errs := t.win.Sum(w)
+		ws := WindowState{Window: w.String(), Total: total, Slow: slow, Errors: errs}
+		if total > 0 {
+			ws.SlowFraction = float64(slow) / float64(total)
+			ws.ErrorFraction = float64(errs) / float64(total)
+			if t.obj.LatencyThreshold > 0 {
+				ws.LatencyBurnRate = ws.SlowFraction / t.obj.LatencyBudget
+			}
+			if t.obj.ErrorBudget > 0 {
+				ws.ErrorBurnRate = ws.ErrorFraction / t.obj.ErrorBudget
+			}
+		}
+		burns[i] = ws.LatencyBurnRate
+		if ws.ErrorBurnRate > burns[i] {
+			burns[i] = ws.ErrorBurnRate
+		}
+		st.Windows = append(st.Windows, ws)
+	}
+	st.FastBurn = burns[0] >= FastBurnRate && burns[1] >= FastBurnRate
+	st.SlowBurn = burns[1] >= SlowBurnRate && burns[2] >= SlowBurnRate
+	if st.BudgetRemaining = 1 - burns[2]; st.BudgetRemaining < 0 {
+		st.BudgetRemaining = 0
+	}
+	return st
+}
+
+// State snapshots every endpoint, in registration order.
+func (e *Engine) State() []EndpointState {
+	e.mu.RLock()
+	trackers := make([]*Tracker, 0, len(e.order))
+	for _, name := range e.order {
+		trackers = append(trackers, e.trackers[name])
+	}
+	e.mu.RUnlock()
+	out := make([]EndpointState, len(trackers))
+	for i, t := range trackers {
+		out[i] = e.state(t)
+	}
+	return out
+}
+
+// Endpoint returns one endpoint's state; ok is false for an unknown one.
+func (e *Engine) Endpoint(name string) (EndpointState, bool) {
+	e.mu.RLock()
+	t := e.trackers[name]
+	e.mu.RUnlock()
+	if t == nil {
+		return EndpointState{}, false
+	}
+	return e.state(t), true
+}
+
+// Burning reports the worst burn state across endpoints: the highest
+// fast-window (1m) burn rate and whether any endpoint is in fast or slow
+// burn — the compressed form the health signal and slow-query log carry.
+func (e *Engine) Burning() (worstBurn float64, fast, slow bool) {
+	for _, st := range e.State() {
+		if len(st.Windows) > 0 {
+			b := st.Windows[0].LatencyBurnRate
+			if st.Windows[0].ErrorBurnRate > b {
+				b = st.Windows[0].ErrorBurnRate
+			}
+			if b > worstBurn {
+				worstBurn = b
+			}
+		}
+		fast = fast || st.FastBurn
+		slow = slow || st.SlowBurn
+	}
+	return worstBurn, fast, slow
+}
+
+// Handler serves the engine state as JSON:
+//
+//	GET /debug/slo              every endpoint
+//	GET /debug/slo?endpoint=x   one endpoint (404 when unknown)
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if name := r.URL.Query().Get("endpoint"); name != "" {
+			st, ok := e.Endpoint(name)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": "unknown endpoint " + name})
+				return
+			}
+			_ = json.NewEncoder(w).Encode(st)
+			return
+		}
+		states := e.State()
+		sort.SliceStable(states, func(i, j int) bool { return states[i].Endpoint < states[j].Endpoint })
+		_ = json.NewEncoder(w).Encode(map[string]any{"endpoints": states})
+	})
+}
+
+// RegisterMetrics exposes the engine as serenade_slo_* gauges: the declared
+// objective, per-window burn rates, the alert booleans and the remaining
+// budget, all computed at scrape time. Trackers created after registration
+// register themselves.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	e.mu.Lock()
+	e.reg = reg
+	trackers := make([]*Tracker, 0, len(e.order))
+	for _, name := range e.order {
+		trackers = append(trackers, e.trackers[name])
+	}
+	e.mu.Unlock()
+	for _, t := range trackers {
+		e.registerTracker(reg, t)
+	}
+}
+
+func (e *Engine) registerTracker(reg *obs.Registry, t *Tracker) {
+	ep := t.endpoint
+	reg.GaugeFunc("serenade_slo_latency_threshold_seconds",
+		"Declared latency objective threshold per endpoint.",
+		func() float64 { return t.obj.LatencyThreshold.Seconds() }, "endpoint", ep)
+	reg.GaugeFunc("serenade_slo_latency_budget",
+		"Allowed fraction of requests at or over the latency threshold.",
+		func() float64 { return t.obj.LatencyBudget }, "endpoint", ep)
+	reg.GaugeFunc("serenade_slo_error_budget",
+		"Allowed fraction of failed requests.",
+		func() float64 { return t.obj.ErrorBudget }, "endpoint", ep)
+	for i := range Windows {
+		w := Windows[i]
+		label := w.String()
+		reg.GaugeFunc("serenade_slo_burn_rate",
+			"Budget burn rate per objective and rolling window (1.0 = burning exactly the budget).",
+			func() float64 {
+				st := e.state(t)
+				return st.Windows[i].LatencyBurnRate
+			}, "endpoint", ep, "slo", "latency", "window", label)
+		reg.GaugeFunc("serenade_slo_burn_rate",
+			"Budget burn rate per objective and rolling window (1.0 = burning exactly the budget).",
+			func() float64 {
+				st := e.state(t)
+				return st.Windows[i].ErrorBurnRate
+			}, "endpoint", ep, "slo", "error", "window", label)
+	}
+	reg.GaugeFunc("serenade_slo_fast_burn",
+		"1 when the fast-burn page condition holds (burn ≥14.4x in the 1m and 5m windows).",
+		func() float64 { return boolGauge(e.state(t).FastBurn) }, "endpoint", ep)
+	reg.GaugeFunc("serenade_slo_slow_burn",
+		"1 when the slow-burn ticket condition holds (burn ≥6x in the 5m and 1h windows).",
+		func() float64 { return boolGauge(e.state(t).SlowBurn) }, "endpoint", ep)
+	reg.GaugeFunc("serenade_slo_budget_remaining",
+		"Fraction of the error budget left over the 1h window (1 = untouched).",
+		func() float64 { return e.state(t).BudgetRemaining }, "endpoint", ep)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders an objective for logs and tables.
+func (o Objective) String() string {
+	s := "slo{"
+	if o.LatencyThreshold > 0 {
+		budget := o.LatencyBudget
+		if budget <= 0 {
+			budget = DefaultLatencyBudget
+		}
+		s += fmt.Sprintf("p%g<%v", 100*(1-budget), o.LatencyThreshold)
+	}
+	if o.ErrorBudget > 0 {
+		if len(s) > len("slo{") {
+			s += " "
+		}
+		s += fmt.Sprintf("err<%g%%", 100*o.ErrorBudget)
+	}
+	return s + "}"
+}

@@ -1,0 +1,270 @@
+package slo_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"serenade/internal/loadgen"
+	"serenade/internal/obs"
+	"serenade/internal/obs/slo"
+)
+
+// fakeClock drives the rolling windows deterministically.
+type fakeClock struct{ sec atomic.Int64 }
+
+func (c *fakeClock) now() time.Time  { return time.Unix(c.sec.Load(), 0) }
+func (c *fakeClock) advance(d int64) { c.sec.Add(d) }
+
+func newTestEngine(obj slo.Objective) (*slo.Engine, *fakeClock) {
+	clk := &fakeClock{}
+	clk.sec.Store(10_000)
+	return slo.NewEngine(obj, clk.now), clk
+}
+
+func TestBurnRateArithmetic(t *testing.T) {
+	e, clk := newTestEngine(slo.Objective{
+		LatencyThreshold: 5 * time.Millisecond,
+		LatencyBudget:    0.01,
+		ErrorBudget:      0.001,
+	})
+	tr := e.Tracker("recommend")
+
+	// 1000 requests: 20 slow (2%), 1 error (0.1%).
+	for i := 0; i < 1000; i++ {
+		d := time.Millisecond
+		if i < 20 {
+			d = 10 * time.Millisecond
+		}
+		tr.Record(d, i == 0)
+	}
+	st, ok := e.Endpoint("recommend")
+	if !ok {
+		t.Fatal("endpoint missing")
+	}
+	w := st.Windows[0] // 1m
+	if w.Total != 1000 || w.Slow != 20 || w.Errors != 1 {
+		t.Fatalf("window counts = %+v", w)
+	}
+	if w.LatencyBurnRate != 2.0 { // 0.02 / 0.01
+		t.Fatalf("latency burn = %v, want 2.0", w.LatencyBurnRate)
+	}
+	if w.ErrorBurnRate != 1.0 { // 0.001 / 0.001
+		t.Fatalf("error burn = %v, want 1.0", w.ErrorBurnRate)
+	}
+	if st.FastBurn || st.SlowBurn {
+		t.Fatalf("2x burn must not alert: %+v", st)
+	}
+	if st.BudgetRemaining >= 1 {
+		t.Fatalf("budget untouched despite burn: %v", st.BudgetRemaining)
+	}
+
+	// The traffic ages out of every window past the horizon.
+	clk.advance(3601)
+	st, _ = e.Endpoint("recommend")
+	if st.Windows[2].Total != 0 {
+		t.Fatalf("1h window retained aged-out traffic: %+v", st.Windows[2])
+	}
+}
+
+// TestMultiWindowBurnAlerts drives the page and ticket conditions through
+// their window combinations with a fake clock.
+func TestMultiWindowBurnAlerts(t *testing.T) {
+	e, clk := newTestEngine(slo.Objective{LatencyThreshold: time.Millisecond, LatencyBudget: 0.01})
+	tr := e.Tracker("recommend")
+
+	// Everything slow: burn = 100x in the 1m and 5m windows → fast burn.
+	for i := 0; i < 500; i++ {
+		tr.Record(10*time.Millisecond, false)
+	}
+	st, _ := e.Endpoint("recommend")
+	if !st.FastBurn {
+		t.Fatalf("100x burn in 1m+5m did not page: %+v", st)
+	}
+
+	// 90 seconds later the 1m window is clean but 5m and 1h still burn ≥6x:
+	// the page clears, the ticket stays.
+	clk.advance(90)
+	for i := 0; i < 500; i++ {
+		tr.Record(time.Microsecond, false)
+	}
+	st, _ = e.Endpoint("recommend")
+	if st.FastBurn {
+		t.Fatalf("fast burn persisted after the 1m window cleared: %+v", st)
+	}
+	if !st.SlowBurn {
+		t.Fatalf("sustained 5m/1h burn did not ticket: %+v windows=%+v", st, st.Windows)
+	}
+
+	worst, fast, slowB := e.Burning()
+	if fast || !slowB {
+		t.Fatalf("Burning() = (%v, %v, %v)", worst, fast, slowB)
+	}
+}
+
+// TestBurnRateUnderLoadgen is the acceptance check: a loadgen-driven run
+// pushes the objective deterministically over budget, and a second clean run
+// stays under. Durations are synthetic, so the outcome depends only on the
+// recorded traffic, not on scheduler timing.
+func TestBurnRateUnderLoadgen(t *testing.T) {
+	over, _ := newTestEngine(slo.Objective{LatencyThreshold: 5 * time.Millisecond, LatencyBudget: 0.01})
+	tr := over.Tracker("recommend")
+	_, err := loadgen.Run(loadgen.Config{TargetRPS: 500, Duration: 600 * time.Millisecond}, func(i uint64) error {
+		tr.Record(20*time.Millisecond, false) // every request blows the threshold
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := over.Endpoint("recommend")
+	if st.Windows[0].LatencyBurnRate < slo.FastBurnRate || !st.FastBurn {
+		t.Fatalf("loadgen run did not push over budget: %+v", st)
+	}
+
+	under, _ := newTestEngine(slo.Objective{LatencyThreshold: 5 * time.Millisecond, LatencyBudget: 0.01})
+	tr2 := under.Tracker("recommend")
+	_, err = loadgen.Run(loadgen.Config{TargetRPS: 500, Duration: 600 * time.Millisecond}, func(i uint64) error {
+		tr2.Record(time.Millisecond, false)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ = under.Endpoint("recommend")
+	if st.Windows[0].LatencyBurnRate != 0 || st.FastBurn || st.SlowBurn {
+		t.Fatalf("clean loadgen run burned budget: %+v", st)
+	}
+	if st.BudgetRemaining != 1 {
+		t.Fatalf("clean run spent budget: %v", st.BudgetRemaining)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	e, _ := newTestEngine(slo.Objective{LatencyThreshold: 5 * time.Millisecond, ErrorBudget: 0.001})
+	e.Tracker("recommend").Record(time.Millisecond, false)
+
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var body struct {
+		Endpoints []slo.EndpointState `json:"endpoints"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding /debug/slo: %v\n%s", err, rec.Body.String())
+	}
+	if len(body.Endpoints) != 1 || body.Endpoints[0].Endpoint != "recommend" {
+		t.Fatalf("endpoints = %+v", body.Endpoints)
+	}
+	if got := body.Endpoints[0].Objective.LatencyBudget; got != slo.DefaultLatencyBudget {
+		t.Errorf("default latency budget not applied: %v", got)
+	}
+	if n := len(body.Endpoints[0].Windows); n != len(slo.Windows) {
+		t.Errorf("window count = %d", n)
+	}
+
+	rec = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo?endpoint=recommend", nil))
+	var one slo.EndpointState
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil || one.Endpoint != "recommend" {
+		t.Fatalf("single-endpoint view: %v\n%s", err, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo?endpoint=nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown endpoint status = %d", rec.Code)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	e, _ := newTestEngine(slo.Objective{LatencyThreshold: 5 * time.Millisecond, LatencyBudget: 0.01, ErrorBudget: 0.001})
+	tr := e.Tracker("recommend")
+	reg := obs.NewRegistry()
+	e.RegisterMetrics(reg)
+	// A tracker created after registration self-registers too.
+	e.Tracker("explain").Record(time.Millisecond, false)
+	for i := 0; i < 100; i++ {
+		tr.Record(10*time.Millisecond, false) // all slow: burn 100x
+	}
+	var buf recorder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`serenade_slo_latency_threshold_seconds{endpoint="recommend"} 0.005`,
+		`serenade_slo_burn_rate{endpoint="recommend",slo="latency",window="1m0s"} 100`,
+		`serenade_slo_fast_burn{endpoint="recommend"} 1`,
+		`serenade_slo_budget_remaining{endpoint="recommend"} 0`,
+		`serenade_slo_burn_rate{endpoint="explain",slo="latency",window="1m0s"} 0`,
+	} {
+		if !contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+type recorder struct{ b []byte }
+
+func (r *recorder) Write(p []byte) (int, error) { r.b = append(r.b, p...); return len(p), nil }
+func (r *recorder) String() string              { return string(r.b) }
+
+func contains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTrackerRecordAllocs asserts the record path is allocation-free.
+func TestTrackerRecordAllocs(t *testing.T) {
+	e, _ := newTestEngine(slo.Objective{LatencyThreshold: 5 * time.Millisecond, ErrorBudget: 0.001})
+	tr := e.Tracker("recommend")
+	if n := testing.AllocsPerRun(1000, func() { tr.Record(time.Millisecond, false) }); n != 0 {
+		t.Fatalf("Tracker.Record allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestEngineConcurrent runs Record/State/Burning/Tracker concurrently; under
+// -race this is the engine's concurrency proof.
+func TestEngineConcurrent(t *testing.T) {
+	e := slo.NewEngine(slo.Objective{LatencyThreshold: time.Millisecond, ErrorBudget: 0.01}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := e.Tracker("recommend")
+			for i := 0; i < 3000; i++ {
+				tr.Record(time.Duration(i)*time.Microsecond, i%100 == 0)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			e.State()
+			e.Burning()
+			e.Tracker("explain").Record(time.Millisecond, false)
+		}
+	}()
+	wg.Wait()
+	st, ok := e.Endpoint("recommend")
+	if !ok || st.Windows[2].Total == 0 {
+		t.Fatalf("lost all traffic: %+v", st)
+	}
+}
+
+func BenchmarkTrackerRecord(b *testing.B) {
+	e := slo.NewEngine(slo.Objective{LatencyThreshold: 5 * time.Millisecond, ErrorBudget: 0.001}, nil)
+	tr := e.Tracker("recommend")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Record(time.Millisecond, false)
+		}
+	})
+}

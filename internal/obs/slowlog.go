@@ -19,7 +19,15 @@ type SlowLog struct {
 	winStart   atomic.Int64 // unix second of the current rate window
 	winCount   atomic.Int64
 	logged     atomic.Uint64
-	suppressed atomic.Uint64
+	suppressed atomic.Uint64 // drained into the next emitted entry
+	// suppressedTotal never resets; it backs the exported metric so dropped
+	// slow-log lines stay visible even though suppressed drains per entry.
+	suppressedTotal atomic.Uint64
+
+	// burnState, when set, is sampled at emission time so each slow-query
+	// line carries the SLO burn picture the request contributed to. It
+	// returns the worst current burn rate and the page/ticket conditions.
+	burnState atomic.Pointer[func() (worst float64, fastBurn, slowBurn bool)]
 }
 
 // NewSlowLog creates a slow-query log. A nil logger uses slog.Default();
@@ -33,6 +41,21 @@ func NewSlowLog(logger *slog.Logger, threshold time.Duration, maxPerSecond int) 
 	}
 	return &SlowLog{logger: logger, threshold: threshold, maxPerSecond: int64(maxPerSecond)}
 }
+
+// SetBurnState wires a provider (typically the SLO engine's Burning method)
+// whose snapshot is attached to every slow-query entry.
+func (l *SlowLog) SetBurnState(fn func() (worst float64, fastBurn, slowBurn bool)) {
+	if l != nil && fn != nil {
+		l.burnState.Store(&fn)
+	}
+}
+
+// Logged reports the number of emitted entries.
+func (l *SlowLog) Logged() uint64 { return l.logged.Load() }
+
+// SuppressedTotal reports the cumulative number of rate-limited entries; it
+// is monotone, unlike the per-entry drain, so it can back a counter metric.
+func (l *SlowLog) SuppressedTotal() uint64 { return l.suppressedTotal.Load() }
 
 // IsSlow reports whether a total duration crosses the threshold.
 func (l *SlowLog) IsSlow(d time.Duration) bool {
@@ -50,10 +73,11 @@ func (l *SlowLog) Log(sp *Span) {
 	}
 	if l.winCount.Add(1) > l.maxPerSecond {
 		l.suppressed.Add(1)
+		l.suppressedTotal.Add(1)
 		return
 	}
 	l.logged.Add(1)
-	attrs := make([]any, 0, 2*int(NumStages)+10)
+	attrs := make([]any, 0, 2*int(NumStages)+18)
 	attrs = append(attrs,
 		"trace_id", sp.TraceID,
 		"op", sp.Op,
@@ -64,6 +88,23 @@ func (l *SlowLog) Log(sp *Span) {
 		if d > 0 {
 			attrs = append(attrs, "stage_"+Stage(i).String(), d)
 		}
+	}
+	// Cache/batch context: was this a cache hit or a scored miss, was it
+	// coalesced or batched, how big was the batch, how long did it queue.
+	attrs = append(attrs, "flags", sp.Flags.String())
+	if sp.BatchSize > 0 {
+		attrs = append(attrs, "batch_size", sp.BatchSize)
+	}
+	if w := sp.Stages[StageBatchWait]; w > 0 {
+		attrs = append(attrs, "queue_wait", w)
+	}
+	if fn := l.burnState.Load(); fn != nil {
+		worst, fastBurn, slowBurn := (*fn)()
+		attrs = append(attrs,
+			"slo_burn_rate", worst,
+			"slo_fast_burn", fastBurn,
+			"slo_slow_burn", slowBurn,
+		)
 	}
 	if sp.Error != "" {
 		attrs = append(attrs, "error", sp.Error)

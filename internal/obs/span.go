@@ -18,11 +18,12 @@ const (
 	StageFilter                  // business rules + popularity fallback
 	StageEncode                  // response serialisation
 	StageProxy                   // cross-shard proxy hop
+	StageBatchWait               // time queued in the wait-window batcher
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	"store", "candidates", "score", "filter", "encode", "proxy",
+	"store", "candidates", "score", "filter", "encode", "proxy", "batch_wait",
 }
 
 // String returns the stage's stable, scrape-friendly name.
@@ -31,6 +32,68 @@ func (s Stage) String() string {
 		return stageNames[s]
 	}
 	return "unknown"
+}
+
+// SpanFlags annotate how a request was served — result-cache outcome and
+// batching role — as a bitmask so pooled spans stay allocation-free.
+type SpanFlags uint8
+
+const (
+	// FlagCacheHit marks a request served straight from the result cache.
+	FlagCacheHit SpanFlags = 1 << iota
+	// FlagCacheMiss marks a request that missed the result cache.
+	FlagCacheMiss
+	// FlagCacheLeader marks the single-flight leader that computed the
+	// cache entry other requests coalesced onto.
+	FlagCacheLeader
+	// FlagCacheWaiter marks a request that coalesced onto a leader's
+	// in-flight computation instead of scoring itself.
+	FlagCacheWaiter
+	// FlagBatched marks a request scored inside a shared batch.
+	FlagBatched
+)
+
+var flagNames = []struct {
+	f    SpanFlags
+	name string
+}{
+	{FlagCacheHit, "cache_hit"},
+	{FlagCacheMiss, "cache_miss"},
+	{FlagCacheLeader, "cache_leader"},
+	{FlagCacheWaiter, "cache_waiter"},
+	{FlagBatched, "batched"},
+}
+
+// Names expands the bitmask into stable, scrape-friendly strings.
+func (f SpanFlags) Names() []string {
+	if f == 0 {
+		return nil
+	}
+	out := make([]string, 0, 3)
+	for _, fn := range flagNames {
+		if f&fn.f != 0 {
+			out = append(out, fn.name)
+		}
+	}
+	return out
+}
+
+// String renders the flags comma-joined, "-" when none are set; it is the
+// zero-alloc-friendly form the slow-query log uses.
+func (f SpanFlags) String() string {
+	if f == 0 {
+		return "-"
+	}
+	s := ""
+	for _, fn := range flagNames {
+		if f&fn.f != 0 {
+			if s != "" {
+				s += ","
+			}
+			s += fn.name
+		}
+	}
+	return s
 }
 
 // Span is one request's trace record: identity, wall-clock start, and
@@ -48,9 +111,17 @@ type Span struct {
 	Stages [NumStages]time.Duration
 	Error  string // error class, empty on success
 
+	// Flags annotate cache outcome and batch role; BatchSize is the number
+	// of queries in the batch this request was scored with (0 = unbatched).
+	Flags     SpanFlags
+	BatchSize int
+
 	// cursor is the end of the last attributed segment; Cut advances it.
 	cursor time.Time
 }
+
+// AddFlags ORs annotation flags into the span.
+func (sp *Span) AddFlags(f SpanFlags) { sp.Flags |= f }
 
 // Cut attributes the time since the previous Cut (or since Start) to the
 // given stage and advances the cursor, so consecutive cuts partition the
@@ -60,6 +131,26 @@ type Span struct {
 func (sp *Span) Cut(st Stage) {
 	now := nowMono()
 	sp.Stages[st] += now.Sub(sp.cursor)
+	sp.cursor = now
+}
+
+// CutSplit attributes the time since the previous Cut to two stages: d of it
+// to a, the remainder to b (d is clamped to the elapsed segment). It exists
+// for the batcher, where one elapsed segment covers both queueing and
+// scoring: the queue wait is measured separately and billed to
+// StageBatchWait, the rest to StageScore, and the partition invariant of Cut
+// — stage durations sum to the total — still holds.
+func (sp *Span) CutSplit(a Stage, d time.Duration, b Stage) {
+	now := nowMono()
+	elapsed := now.Sub(sp.cursor)
+	if d < 0 {
+		d = 0
+	}
+	if d > elapsed {
+		d = elapsed
+	}
+	sp.Stages[a] += d
+	sp.Stages[b] += elapsed - d
 	sp.cursor = now
 }
 

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// tailRing is the tail-based retention tier behind a Tracer: where the
+// uniform-sampled ring answers "what does typical traffic look like", the
+// tail ring answers "what did the worst traffic look like" — and unlike
+// uniform sampling it cannot lose an outlier to eviction by the fast
+// requests that follow it.
+//
+// Two tiers:
+//
+//   - slowest-N per window: the current window keeps the N slowest finished
+//     spans; when the window rotates the set is parked as the previous
+//     window (still queryable) and a fresh one starts, so a queried outlier
+//     survives for between one and two windows.
+//   - errors: every span that finished with an error class, in a fixed ring
+//     (oldest overwritten). Errors are rare and always worth keeping.
+type tailRing struct {
+	keep   int           // slowest-N capacity per window
+	window time.Duration // rotation period
+
+	mu      sync.Mutex
+	started time.Time // start of the current window
+	cur     []Span    // current window's slowest, unordered
+	prev    []Span    // previous window's slowest
+
+	errRing []Span
+	errNext int
+	errN    int
+}
+
+func newTailRing(keep int, window time.Duration, errKeep int) *tailRing {
+	r := &tailRing{keep: keep, window: window}
+	if errKeep > 0 {
+		r.errRing = make([]Span, errKeep)
+	}
+	if keep > 0 {
+		r.cur = make([]Span, 0, keep)
+	}
+	return r
+}
+
+// offer considers a finished span for both tiers. The span is copied: the
+// caller recycles sp into the pool right after.
+func (r *tailRing) offer(sp *Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if sp.Error != "" && len(r.errRing) > 0 {
+		r.errRing[r.errNext] = *sp
+		r.errNext = (r.errNext + 1) % len(r.errRing)
+		if r.errN < len(r.errRing) {
+			r.errN++
+		}
+	}
+
+	if r.keep <= 0 {
+		return
+	}
+	now := nowMono()
+	if r.started.IsZero() {
+		r.started = now
+	} else if now.Sub(r.started) >= r.window {
+		r.prev, r.cur = r.cur, r.prev[:0]
+		if r.cur == nil {
+			r.cur = make([]Span, 0, r.keep)
+		}
+		r.started = now
+	}
+	if len(r.cur) < r.keep {
+		r.cur = append(r.cur, *sp)
+		return
+	}
+	// Full window: replace the current minimum if this span is slower.
+	min := 0
+	for i := 1; i < len(r.cur); i++ {
+		if r.cur[i].Total < r.cur[min].Total {
+			min = i
+		}
+	}
+	if sp.Total > r.cur[min].Total {
+		r.cur[min] = *sp
+	}
+}
+
+// slowest returns the retained slowest spans across the current and previous
+// windows, slowest first.
+func (r *tailRing) slowest() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Span, 0, len(r.cur)+len(r.prev))
+	out = append(out, r.cur...)
+	out = append(out, r.prev...)
+	r.mu.Unlock()
+	// Insertion sort by descending total: the set is at most 2*keep spans.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Total > out[j-1].Total; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// errors returns the retained error spans, newest first.
+func (r *tailRing) errors() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.errN)
+	for i := 0; i < r.errN; i++ {
+		idx := (r.errNext - 1 - i + 2*len(r.errRing)) % len(r.errRing)
+		out = append(out, r.errRing[idx])
+	}
+	return out
+}

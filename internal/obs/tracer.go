@@ -19,6 +19,18 @@ type TracerOptions struct {
 	SampleEvery int
 	// SlowLog, when non-nil, receives every span slower than its threshold.
 	SlowLog *SlowLog
+	// TailKeep is the slowest-N retention tier's capacity per window:
+	// the N slowest spans of each window are always retained, immune to
+	// the eviction-by-fast-traffic that loses outliers from the uniform
+	// ring. 0 means 32, negative disables the tier.
+	TailKeep int
+	// TailWindow is the slowest-N rotation period; 0 means one minute. A
+	// retained span survives between one and two windows.
+	TailWindow time.Duration
+	// ErrorKeep is the error-trace tier's ring size — every span finishing
+	// with an error class is retained, oldest overwritten. 0 means 64,
+	// negative disables the tier.
+	ErrorKeep int
 }
 
 // Tracer hands out spans, samples finished ones into a fixed ring of recent
@@ -36,6 +48,8 @@ type Tracer struct {
 	ring []Span
 	next int
 	n    int // live entries in ring
+
+	tail *tailRing
 }
 
 // NewTracer creates a tracer.
@@ -49,7 +63,25 @@ func NewTracer(opts TracerOptions) *Tracer {
 	if opts.SampleEvery < 1 {
 		opts.SampleEvery = 1
 	}
+	if opts.TailKeep == 0 {
+		opts.TailKeep = 32
+	}
+	if opts.TailKeep < 0 {
+		opts.TailKeep = 0
+	}
+	if opts.TailWindow <= 0 {
+		opts.TailWindow = time.Minute
+	}
+	if opts.ErrorKeep == 0 {
+		opts.ErrorKeep = 64
+	}
+	if opts.ErrorKeep < 0 {
+		opts.ErrorKeep = 0
+	}
 	t := &Tracer{opts: opts, ring: make([]Span, opts.RingSize)}
+	if opts.TailKeep > 0 || opts.ErrorKeep > 0 {
+		t.tail = newTailRing(opts.TailKeep, opts.TailWindow, opts.ErrorKeep)
+	}
 	t.pool.New = func() any { return new(Span) }
 	return t
 }
@@ -96,12 +128,21 @@ func (t *Tracer) Finish(sp *Span) {
 			t.mu.Unlock()
 		}
 	}
+	t.tail.offer(sp)
 	if slow {
 		t.opts.SlowLog.Log(sp)
 	}
 	sp.reset()
 	t.pool.Put(sp)
 }
+
+// Slowest returns the tail-retention tier: the slowest spans of the current
+// and previous windows, slowest first. Unlike Recent, an outlier here cannot
+// be evicted by the fast traffic that follows it.
+func (t *Tracer) Slowest() []Span { return t.tail.slowest() }
+
+// ErrorTraces returns the retained error spans, newest first.
+func (t *Tracer) ErrorTraces() []Span { return t.tail.errors() }
 
 // Recent returns the sampled traces, newest first.
 func (t *Tracer) Recent() []Span {
@@ -135,6 +176,8 @@ type traceView struct {
 	Total    string           `json:"total"`
 	Stages   map[string]int64 `json:"stages_ns"`
 	Error    string           `json:"error,omitempty"`
+	Flags    []string         `json:"flags,omitempty"`
+	Batch    int              `json:"batch_size,omitempty"`
 }
 
 func viewOf(sp Span) traceView {
@@ -148,6 +191,8 @@ func viewOf(sp Span) traceView {
 		Total:    sp.Total.String(),
 		Stages:   make(map[string]int64, len(sp.Stages)),
 		Error:    sp.Error,
+		Flags:    sp.Flags.Names(),
+		Batch:    sp.BatchSize,
 	}
 	for i, d := range sp.Stages {
 		if d > 0 {
@@ -157,25 +202,65 @@ func viewOf(sp Span) traceView {
 	return v
 }
 
-// Handler serves the sampled traces as JSON:
+// Handler serves the retained traces as JSON:
 //
-//	GET /debug/traces?n=50   at most n traces, newest first (default all)
+//	GET /debug/traces?n=50        at most n traces, newest first (default all)
+//	GET /debug/traces?slowest=1   the slowest-N retention tier, slowest first
+//	GET /debug/traces?errors=1    the error-trace tier, newest first
+//	GET /debug/traces?min_ms=20   only traces at least that slow
+//	GET /debug/traces?endpoint=recommend   only traces for that op
+//
+// The view selectors pick the source tier; the filters then narrow it.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		recent := t.Recent()
-		if raw := r.URL.Query().Get("n"); raw != "" {
-			if n, err := parsePositive(raw); err == nil && n < len(recent) {
-				recent = recent[:n]
+		q := r.URL.Query()
+		var spans []Span
+		view := "sampled"
+		switch {
+		case q.Get("errors") == "1":
+			spans = t.ErrorTraces()
+			view = "errors"
+		case q.Get("slowest") == "1":
+			spans = t.Slowest()
+			view = "slowest"
+		default:
+			spans = t.Recent()
+		}
+		if raw := q.Get("min_ms"); raw != "" {
+			if ms, err := parsePositive(raw); err == nil {
+				min := time.Duration(ms) * time.Millisecond
+				kept := spans[:0]
+				for _, sp := range spans {
+					if sp.Total >= min {
+						kept = append(kept, sp)
+					}
+				}
+				spans = kept
 			}
 		}
-		views := make([]traceView, len(recent))
-		for i, sp := range recent {
+		if op := q.Get("endpoint"); op != "" {
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.Op == op {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
+		if raw := q.Get("n"); raw != "" {
+			if n, err := parsePositive(raw); err == nil && n < len(spans) {
+				spans = spans[:n]
+			}
+		}
+		views := make([]traceView, len(spans))
+		for i, sp := range spans {
 			views[i] = viewOf(sp)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"finished": t.finished.Load(),
 			"sampled":  t.sampled.Load(),
+			"view":     view,
 			"traces":   views,
 		})
 	})

@@ -12,15 +12,20 @@ import (
 // DefaultBatchMax bounds a gathered batch when Config.BatchMax is zero.
 const DefaultBatchMax = 16
 
-// batchJob is one request's slot in a gathered batch. items and genSeq are
-// written by the batch runner before done closes and are owned by the
-// requester afterwards.
+// batchJob is one request's slot in a gathered batch. items, genSeq, wait and
+// batchSize are written by the batch runner before done closes and are owned
+// by the requester afterwards.
 type batchJob struct {
 	predictFrom []sessions.ItemID
 	slot        int
 	done        chan struct{}
-	items       []core.ScoredItem
-	genSeq      uint64
+	// enqueued is stamped at submit; the runner derives the queue wait from
+	// it so traces can bill wait-window time to batch_wait, not score.
+	enqueued  time.Time
+	items     []core.ScoredItem
+	genSeq    uint64
+	wait      time.Duration
+	batchSize int
 }
 
 // batcher gathers concurrent recommendation requests into shared
@@ -64,6 +69,7 @@ func newBatcher(s *Server, window time.Duration, max int) *batcher {
 // is deep enough that submission virtually never blocks, and when it does the
 // collector is guaranteed to be draining.
 func (b *batcher) submit(job *batchJob) {
+	job.enqueued = time.Now()
 	b.depth.Add(1)
 	b.jobs <- job
 }
@@ -133,6 +139,18 @@ func (b *batcher) close() {
 // runBatch executes one gathered batch against the active index generation
 // and hands each requester a private copy of its result.
 func (s *Server) runBatch(jobs []*batchJob) {
+	// Queue wait is measured at dispatch, before the kernel runs: the time a
+	// request spent gathering joiners (plus any channel backlog). The rolling
+	// high-watermark feeds the health signal; the per-job value lets the
+	// requester's span split batch_wait out of score.
+	dispatched := time.Now()
+	for _, job := range jobs {
+		job.wait = dispatched.Sub(job.enqueued)
+		job.batchSize = len(jobs)
+		if s.batchWaitMax != nil && job.wait > 0 {
+			s.batchWaitMax.Observe(uint64(job.wait))
+		}
+	}
 	gen := s.acquireGen()
 	br := gen.batchPool.Get().(*core.BatchRecommender)
 	queries := make([][]sessions.ItemID, len(jobs))

@@ -98,11 +98,21 @@ func (c *resultCache) shardOf(key string) *cacheShard {
 	return &c.shards[h&(cacheShardCount-1)]
 }
 
-// acquire looks the key up and returns the entry plus whether the caller is
-// the leader. Leaders MUST complete the entry with fill (or abandon); every
-// other caller waits on entry.done and then reads entry.items. Hit, miss and
-// coalesced counters are maintained here.
-func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
+// cacheOutcome reports how acquire resolved a lookup; it doubles as the
+// span-annotation source so traces say how each request met the cache.
+type cacheOutcome uint8
+
+const (
+	cacheLead cacheOutcome = iota // caller is the leader and must fill/abandon
+	cacheHit                      // completed entry, served from memory
+	cacheWait                     // pending entry, coalesced onto the leader
+)
+
+// acquire looks the key up and returns the entry plus the outcome. Leaders
+// MUST complete the entry with fill (or abandon); every other caller waits on
+// entry.done and then reads entry.items. Hit, miss and coalesced counters are
+// maintained here.
+func (c *resultCache) acquire(key string) (*cacheEntry, cacheOutcome) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -111,12 +121,12 @@ func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
 		case <-e.done:
 			if c.now().Before(e.expires) && e.items != nil {
 				c.hits.Add(1)
-				return e, false
+				return e, cacheHit
 			}
 			// Expired or abandoned: this caller becomes the new leader.
 		default:
 			c.coalesced.Add(1)
-			return e, false
+			return e, cacheWait
 		}
 	}
 	c.misses.Add(1)
@@ -125,7 +135,7 @@ func (c *resultCache) acquire(key string) (*cacheEntry, bool) {
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	sh.entries[key] = e
-	return e, true
+	return e, cacheLead
 }
 
 // evictLocked frees room in a full shard: expired completed entries first,

@@ -31,6 +31,8 @@ const IdempotencyReplayHeader = "X-Idempotency-Replay"
 //	GET  /metrics                 JSON counters
 //	GET  /metrics.prom            Prometheus text exposition
 //	GET  /debug/traces            recent request traces with stage timings
+//	GET  /debug/slo               multi-window SLO burn rates (JSON)
+//	GET  /debug/health            overload telemetry snapshot (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommendPost)
@@ -45,6 +47,10 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /metrics.prom", s.handlePromMetrics)
 	mux.Handle("GET /debug/traces", s.tracer.Handler())
+	mux.Handle("GET /debug/slo", s.slo.Handler())
+	mux.HandleFunc("GET /debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/trending", s.handleTrending)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -173,6 +179,8 @@ func (s *Server) countBadRequest() {
 // trace (Traceparent header) or starts a fresh one, echoes the trace id in
 // X-Request-Id, and attributes response serialisation to the encode stage.
 func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	sp := s.tracer.StartRemote("recommend", r.Header.Get(obs.TraceparentHeader))
 	w.Header().Set(obs.RequestIDHeader, sp.TraceID)
 	if req.SessionKey == "" {

@@ -25,6 +25,7 @@ import (
 	"serenade/internal/kvstore"
 	"serenade/internal/metrics"
 	"serenade/internal/obs"
+	"serenade/internal/obs/slo"
 	"serenade/internal/sessions"
 	"serenade/internal/trending"
 )
@@ -132,6 +133,19 @@ type Config struct {
 	// Logger receives structured serving logs (slow queries); nil uses
 	// slog.Default().
 	Logger *slog.Logger
+
+	// SLOLatencyThreshold is the latency objective for the recommend
+	// endpoint: requests slower than this burn the latency error budget
+	// (the -slo-latency-p99 flag). 0 disables the latency objective; the
+	// SLO engine still tracks the error-rate objective.
+	SLOLatencyThreshold time.Duration
+	// SLOLatencyBudget is the fraction of requests allowed to exceed
+	// SLOLatencyThreshold (0.01 = a p99 objective). 0 means
+	// slo.DefaultLatencyBudget.
+	SLOLatencyBudget float64
+	// SLOErrorBudget is the fraction of requests allowed to fail (the
+	// -slo-error-budget flag). 0 disables the error-rate objective.
+	SLOErrorBudget float64
 }
 
 // Server is one stateful recommendation server ("Serenade pod"). It is safe
@@ -166,14 +180,28 @@ type Server struct {
 	requests *metrics.StripedHistogram
 	stages   [obs.NumStages]*metrics.StripedHistogram
 	tracer   *obs.Tracer
+	slowLog  *obs.SlowLog
 	reg      *obs.Registry
-	errors      *obs.Counter
-	errStore    *obs.Counter
-	errInput    *obs.Counter
-	padded      *obs.Counter
-	depers      *obs.Counter
-	idemReplays *obs.Counter
-	swaps       atomic.Uint64
+	// slo tracks the multi-window burn rates behind GET /debug/slo;
+	// sloRecommend is the recommend endpoint's tracker, resolved once so the
+	// per-request record stays allocation-free.
+	slo          *slo.Engine
+	sloRecommend *slo.Tracker
+	// inflight counts requests between entry and span finish — the most
+	// immediate overload signal in the health surface.
+	inflight atomic.Int64
+	// batchWaitMax is the rolling queue-wait high-watermark (nil unless
+	// batching is enabled); cacheWin tracks rolling (lookups, absorbed)
+	// counts for the health signal's hit-ratio windows (nil without cache).
+	batchWaitMax *metrics.WindowedMax
+	cacheWin     *metrics.WindowedCounter
+	errors       *obs.Counter
+	errStore     *obs.Counter
+	errInput     *obs.Counter
+	padded       *obs.Counter
+	depers       *obs.Counter
+	idemReplays  *obs.Counter
+	swaps        atomic.Uint64
 	// loadNanos is the duration of the most recent index load, reported by
 	// the embedding binary via RecordIndexLoad and exported as
 	// serenade_index_load_seconds.
@@ -359,19 +387,30 @@ func NewServer(idx *core.Index, cfg Config) (*Server, error) {
 	for i := range s.stages {
 		s.stages[i] = metrics.NewStripedHistogram()
 	}
-	var slowLog *obs.SlowLog
 	if cfg.SlowQueryThreshold > 0 {
-		slowLog = obs.NewSlowLog(cfg.Logger, cfg.SlowQueryThreshold, cfg.SlowLogPerSecond)
+		s.slowLog = obs.NewSlowLog(cfg.Logger, cfg.SlowQueryThreshold, cfg.SlowLogPerSecond)
 	}
 	s.tracer = obs.NewTracer(obs.TracerOptions{
 		RingSize:    cfg.TraceRingSize,
 		SampleEvery: cfg.TraceSampleEvery,
-		SlowLog:     slowLog,
+		SlowLog:     s.slowLog,
 	})
+	s.slo = slo.NewEngine(slo.Objective{
+		LatencyThreshold: cfg.SLOLatencyThreshold,
+		LatencyBudget:    cfg.SLOLatencyBudget,
+		ErrorBudget:      cfg.SLOErrorBudget,
+	}, cfg.Now)
+	s.sloRecommend = s.slo.Tracker("recommend")
+	if s.slowLog != nil {
+		// Every slow-query line carries the burn picture it contributed to.
+		s.slowLog.SetBurnState(s.slo.Burning)
+	}
 	if cfg.ResultCacheSize > 0 {
 		s.cache = newResultCache(cfg.ResultCacheSize, cfg.ResultCacheTTL, cfg.Now)
+		s.cacheWin = metrics.NewWindowedCounter(time.Minute, cfg.Now)
 	}
 	if cfg.BatchWindow > 0 {
+		s.batchWaitMax = metrics.NewWindowedMax(time.Minute, cfg.Now)
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.batchMax())
 	}
 	s.buildRegistry()
@@ -399,6 +438,16 @@ func (s *Server) buildRegistry() {
 		func() float64 { return float64(s.requests.Count()) })
 	r.CounterFunc("serenade_index_swaps_total", "Index rollovers since start.",
 		func() float64 { return float64(s.swaps.Load()) })
+
+	r.GaugeFunc("serenade_inflight_requests", "Requests currently being served.",
+		func() float64 { return float64(s.inflight.Load()) })
+	if s.slowLog != nil {
+		r.CounterFunc("serenade_slowlog_entries_total", "Slow-query log lines emitted.",
+			func() float64 { return float64(s.slowLog.Logged()) })
+		r.CounterFunc("serenade_slowlog_suppressed_total", "Slow-query log lines dropped by the per-second rate limit.",
+			func() float64 { return float64(s.slowLog.SuppressedTotal()) })
+	}
+	s.slo.RegisterMetrics(r)
 
 	r.GaugeFunc("serenade_active_sessions", "Evolving sessions currently stored.",
 		func() float64 { return float64(s.store.Len()) })
@@ -453,6 +502,17 @@ func (s *Server) buildRegistry() {
 			func() float64 { return float64(s.cache.evictions.Load()) })
 		r.GaugeFunc("serenade_result_cache_entries", "Predictions currently cached.",
 			func() float64 { return float64(s.cache.len()) })
+		for _, w := range []time.Duration{10 * time.Second, time.Minute} {
+			w := w
+			r.GaugeFunc("serenade_result_cache_hit_ratio", "Fraction of recent predictions absorbed by the cache (hit or coalesced), per rolling window.",
+				func() float64 {
+					lookups, absorbed, _ := s.cacheWin.Sum(w)
+					if lookups == 0 {
+						return 0
+					}
+					return float64(absorbed) / float64(lookups)
+				}, "window", w.String())
+		}
 	}
 	if s.batcher != nil {
 		r.GaugeFunc("serenade_batcher_depth", "Requests submitted to the batcher and not yet dispatched.",
@@ -463,6 +523,11 @@ func (s *Server) buildRegistry() {
 			func() float64 { return float64(s.batcher.batches.Load()) })
 		r.CounterFunc("serenade_batcher_batched_requests_total", "Requests served through the batcher.",
 			func() float64 { return float64(s.batcher.batchedRequests.Load()) })
+		for _, w := range []time.Duration{10 * time.Second, time.Minute} {
+			w := w
+			r.GaugeFunc("serenade_batcher_wait_max_seconds", "Worst batcher queue wait any request ate, per rolling window.",
+				func() float64 { return time.Duration(s.batchWaitMax.Max(w)).Seconds() }, "window", w.String())
+		}
 	}
 
 	r.Histogram("serenade_request_latency_seconds", "End-to-end request latency.", s.requests)
@@ -479,6 +544,39 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Tracer exposes the server's request tracer.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SLO exposes the burn-rate engine behind GET /debug/slo (for embedding
+// binaries and the load harness).
+func (s *Server) SLO() *slo.Engine { return s.slo }
+
+// Health assembles the replica's overload telemetry snapshot: in-flight
+// requests, batcher pressure, cache effectiveness, burn state, and runtime
+// pressure. It is the payload of GET /debug/health and the per-backend
+// sections of the cluster proxy's /proxy/health.
+func (s *Server) Health() obs.HealthSignal {
+	h := obs.HealthSignal{
+		Time:     s.cfg.Now(),
+		InFlight: s.inflight.Load(),
+	}
+	if s.batcher != nil {
+		h.BatchQueueDepth = int(s.batcher.depth.Load())
+		h.BatchWaitMax10s = time.Duration(s.batchWaitMax.Max(10 * time.Second))
+		h.BatchWaitMax1m = time.Duration(s.batchWaitMax.Max(time.Minute))
+	}
+	if s.cache != nil {
+		if lookups, absorbed, _ := s.cacheWin.Sum(10 * time.Second); lookups > 0 {
+			h.CacheHitRatio10s = float64(absorbed) / float64(lookups)
+		}
+		lookups, absorbed, _ := s.cacheWin.Sum(time.Minute)
+		h.CacheLookups1m = lookups
+		if lookups > 0 {
+			h.CacheHitRatio1m = float64(absorbed) / float64(lookups)
+		}
+	}
+	h.BurnRate, h.FastBurn, h.SlowBurn = s.slo.Burning()
+	h.FillRuntime()
+	return h
+}
 
 // FlushSlowLog emits the slow-query log's final summary; serving binaries
 // call it during graceful shutdown.
@@ -581,6 +679,8 @@ type Response struct {
 // prediction, business rules. It is the code path behind the HTTP handler
 // and is also called directly by the in-process load and A/B harnesses.
 func (s *Server) Recommend(req Request) (Response, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	sp := s.tracer.Start("recommend")
 	resp, err := s.recommend(req, sp)
 	s.observeSpan(sp, err)
@@ -623,11 +723,16 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 		// Batched/cached path: the raw prediction arrives as a caller-owned
 		// copy (cache hits, coalesced waits and batch lanes all hand out
 		// private slices), so the business rules below may edit it in place.
-		// Kernel work — including any cache coalescing or batch wait-window
-		// time — is attributed to the score stage; the candidates/score
-		// split only exists on the unbatched path.
-		raw := s.predictShared(predictFrom, slot)
-		sp.Cut(obs.StageScore)
+		// Time queued in the batcher's wait window is split out of the
+		// elapsed segment into batch_wait; the remainder — kernel work plus
+		// any cache coalescing — lands in score (the candidates/score split
+		// only exists on the unbatched path).
+		raw, wait := s.predictShared(sp, predictFrom, slot)
+		if wait > 0 {
+			sp.CutSplit(obs.StageBatchWait, wait, obs.StageScore)
+		} else {
+			sp.Cut(obs.StageScore)
+		}
 		out = s.applyRules(req.Item, raw)
 		if len(out) > s.cfg.Recommendations {
 			out = out[:s.cfg.Recommendations]
@@ -664,48 +769,68 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 
 // predictShared computes the raw (uncut, pre-business-rules) prediction via
 // the result cache and/or the request batcher, returning a slice the caller
-// owns and may mutate.
-func (s *Server) predictShared(predictFrom []sessions.ItemID, slot int) []core.ScoredItem {
+// owns and may mutate plus the time the request spent queued in the batcher.
+// It annotates sp with the cache outcome and records the lookup into the
+// rolling hit-ratio window.
+func (s *Server) predictShared(sp *obs.Span, predictFrom []sessions.ItemID, slot int) ([]core.ScoredItem, time.Duration) {
 	if s.cache == nil {
-		items, _ := s.predictBatched(predictFrom, slot)
-		return items
+		items, _, wait := s.predictBatched(sp, predictFrom, slot)
+		return items, wait
 	}
 	genSeq := s.active.Load().seq
 	key := cacheKey(s.kernelTail(predictFrom), slot, genSeq)
-	e, leader := s.cache.acquire(key)
-	if !leader {
+	e, outcome := s.cache.acquire(key)
+	s.cacheWin.Add(1, boolLane(outcome != cacheLead), 0)
+	if outcome != cacheLead {
+		if outcome == cacheHit {
+			sp.AddFlags(obs.FlagCacheHit)
+		} else {
+			sp.AddFlags(obs.FlagCacheWaiter)
+		}
 		<-e.done
 		if e.items != nil {
-			return append(make([]core.ScoredItem, 0, len(e.items)), e.items...)
+			return append(make([]core.ScoredItem, 0, len(e.items)), e.items...), 0
 		}
 		// The leader abandoned the entry; compute independently.
-		items, _ := s.predictBatched(predictFrom, slot)
-		return items
+		items, _, wait := s.predictBatched(sp, predictFrom, slot)
+		return items, wait
 	}
+	sp.AddFlags(obs.FlagCacheMiss | obs.FlagCacheLeader)
 	filled := false
 	defer func() {
 		if !filled {
 			s.cache.abandon(key, e)
 		}
 	}()
-	items, usedSeq := s.predictBatched(predictFrom, slot)
+	items, usedSeq, wait := s.predictBatched(sp, predictFrom, slot)
 	// A rollover between key construction and execution means the value
 	// belongs to a different generation than the key names: publish it to
 	// the waiters but do not retain it.
 	s.cache.fill(key, e, items, usedSeq == genSeq)
 	filled = true
-	return items
+	return items, wait
+}
+
+// boolLane converts a flag to a windowed-counter lane increment.
+func boolLane(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // predictBatched runs the kernel through the batcher when enabled, else
 // directly against a pooled recommender. The returned slice is a private
-// copy; the second result is the index generation that served it.
-func (s *Server) predictBatched(predictFrom []sessions.ItemID, slot int) ([]core.ScoredItem, uint64) {
+// copy; the second result is the index generation that served it, the third
+// the batcher queue wait (0 when unbatched).
+func (s *Server) predictBatched(sp *obs.Span, predictFrom []sessions.ItemID, slot int) ([]core.ScoredItem, uint64, time.Duration) {
 	if s.batcher != nil {
 		job := &batchJob{predictFrom: predictFrom, slot: slot, done: make(chan struct{})}
 		s.batcher.submit(job)
 		<-job.done
-		return job.items, job.genSeq
+		sp.AddFlags(obs.FlagBatched)
+		sp.BatchSize = job.batchSize
+		return job.items, job.genSeq, job.wait
 	}
 	gen := s.acquireGen()
 	rec := gen.pool.Get().(*core.Recommender)
@@ -714,7 +839,7 @@ func (s *Server) predictBatched(predictFrom []sessions.ItemID, slot int) ([]core
 	gen.pool.Put(rec)
 	seq := gen.seq
 	gen.release()
-	return out, seq
+	return out, seq, 0
 }
 
 // kernelTail truncates an evolving session to the items the kernel actually
@@ -732,9 +857,9 @@ func (s *Server) kernelTail(items []sessions.ItemID) []sessions.ItemID {
 }
 
 // observeSpan closes a request span: it freezes the total, feeds the
-// request and per-stage histograms, counts errors, and hands the span to
-// the tracer (ring sampling, slow-query log). The span must not be used
-// afterwards.
+// request and per-stage histograms and the SLO tracker, counts errors, and
+// hands the span to the tracer (ring sampling, tail retention, slow-query
+// log). The span must not be used afterwards.
 func (s *Server) observeSpan(sp *obs.Span, err error) {
 	if err != nil {
 		sp.SetError("store")
@@ -743,6 +868,7 @@ func (s *Server) observeSpan(sp *obs.Span, err error) {
 	}
 	sp.End()
 	s.requests.Record(sp.Total)
+	s.sloRecommend.Record(sp.Total, err != nil)
 	for i, d := range sp.Stages {
 		if d > 0 {
 			s.stages[i].Record(d)

@@ -8,12 +8,18 @@
 // "benchmarks": [{"name": ..., "iterations": ..., "ns_per_op": ...,
 // "bytes_per_op": ..., "allocs_per_op": ...}, ...]}. Metric fields absent
 // from a line (e.g. without -benchmem) are omitted.
+//
+// Lines of the form `BENCHJSON <key> <json>` are passed through verbatim
+// into an "extra" map keyed by <key> — the escape hatch harness binaries
+// (e.g. serenade-loadtest -slo-sweep) use to ship structured results, such
+// as a burn-rate-vs-RPS trajectory, into the same versioned artifact.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,16 +34,32 @@ type benchmark struct {
 }
 
 type artifact struct {
-	GOOS       string      `json:"goos,omitempty"`
-	GOARCH     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []benchmark `json:"benchmarks"`
+	GOOS       string                     `json:"goos,omitempty"`
+	GOARCH     string                     `json:"goarch,omitempty"`
+	CPU        string                     `json:"cpu,omitempty"`
+	Benchmarks []benchmark                `json:"benchmarks"`
+	Extra      map[string]json.RawMessage `json:"extra,omitempty"`
 }
 
 func main() {
+	out, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse converts benchmark text into the artifact document.
+func parse(r io.Reader) (artifact, error) {
 	var out artifact
 	out.Benchmarks = []benchmark{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -50,6 +72,18 @@ func main() {
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "BENCHJSON "):
+			rest := strings.TrimPrefix(line, "BENCHJSON ")
+			key, raw, ok := strings.Cut(rest, " ")
+			if !ok || key == "" || !json.Valid([]byte(raw)) {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping malformed BENCHJSON line: %q\n", line)
+				continue
+			}
+			if out.Extra == nil {
+				out.Extra = make(map[string]json.RawMessage)
+			}
+			out.Extra[key] = json.RawMessage(raw)
 			continue
 		case !strings.HasPrefix(line, "Benchmark"):
 			continue
@@ -89,13 +123,7 @@ func main() {
 		out.Benchmarks = append(out.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return out, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return out, nil
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+cpu: Example CPU
+BenchmarkFoo-8   	 1000000	      1234 ns/op	      64 B/op	       2 allocs/op
+garbage line
+BenchmarkBare 500
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GOOS != "linux" || out.GOARCH != "amd64" || out.CPU != "Example CPU" {
+		t.Errorf("header = %q/%q/%q", out.GOOS, out.GOARCH, out.CPU)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(out.Benchmarks))
+	}
+	b := out.Benchmarks[0]
+	if b.Name != "BenchmarkFoo" || b.Iterations != 1000000 {
+		t.Errorf("benchmark = %+v", b)
+	}
+	if b.NsPerOp == nil || *b.NsPerOp != 1234 || b.BytesPerOp == nil || *b.BytesPerOp != 64 || b.AllocsPerOp == nil || *b.AllocsPerOp != 2 {
+		t.Errorf("metrics = %+v", b)
+	}
+	if out.Benchmarks[1].NsPerOp != nil {
+		t.Errorf("bare benchmark gained ns/op: %+v", out.Benchmarks[1])
+	}
+}
+
+func TestParseBenchjsonPassthrough(t *testing.T) {
+	in := `some table output the harness printed
+BENCHJSON slo_sweep [{"rps":100,"burn_rate":0.5}]
+BENCHJSON malformed not-json
+BENCHJSON  {"orphan":true}
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Extra) != 1 {
+		t.Fatalf("extra = %v, want only slo_sweep", out.Extra)
+	}
+	raw, ok := out.Extra["slo_sweep"]
+	if !ok || string(raw) != `[{"rps":100,"burn_rate":0.5}]` {
+		t.Errorf("slo_sweep = %s", raw)
+	}
+}
