@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race slo-race bench kernel-bench index-bench batch-bench slo-bench fuzz-replay
+.PHONY: verify build vet test race slo-race quality-race bench kernel-bench index-bench batch-bench slo-bench quality-bench fuzz-replay
 
 verify: build vet test race
 
@@ -25,6 +25,12 @@ race:
 # accumulators, burn-rate trackers, tail retention, health snapshots.
 slo-race:
 	$(GO) test -race ./internal/obs/... ./internal/metrics ./internal/serving ./internal/cluster
+
+# The online quality loop under the race detector: exposure recording,
+# click attribution, windowed gauges, drift detection, and the click-model
+# harness that drives them.
+quality-race:
+	$(GO) test -race ./internal/obs/... ./internal/serving ./internal/loadgen ./internal/cluster ./client
 
 # All microbenchmarks, quick.
 bench: batch-bench
@@ -51,6 +57,16 @@ slo-bench:
 	$(GO) run ./cmd/serenade-loadtest -quick -slo-sweep -slo-latency-p99 5ms \
 		-rates 200,400 -per-rate 2s | $(GO) run ./tools/benchjson > BENCH_slo.json
 	@echo wrote BENCH_slo.json
+
+# Online-vs-offline quality loop from the click-model harness plus the
+# quality record-path microbenchmarks, committed as the versioned
+# BENCH_quality.json artifact (the BENCHJSON line carries the MRR table).
+quality-bench:
+	{ $(GO) run ./cmd/serenade-loadtest -quick -seed 99 -click-model \
+		-click-seed 17 -click-rounds 12 -click-skew 'b=0.7'; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRecordExposure$$|BenchmarkAttribute' -benchmem ./internal/obs/quality; } \
+		| $(GO) run ./tools/benchjson > BENCH_quality.json
+	@echo wrote BENCH_quality.json
 
 # Replay the loader fuzz seed corpus (both on-disk formats) without fuzzing.
 fuzz-replay:

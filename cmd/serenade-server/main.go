@@ -57,6 +57,10 @@ func main() {
 		sloP99    = flag.Duration("slo-latency-p99", 50*time.Millisecond, "latency objective: requests slower than this burn error budget, tracked at /debug/slo (0 disables)")
 		sloBudget = flag.Float64("slo-latency-budget", 0, "fraction of requests allowed to exceed -slo-latency-p99 (0 = default 1%, a p99 objective)")
 		sloErr    = flag.Float64("slo-error-budget", 0.001, "fraction of requests allowed to fail before the error-rate SLO burns (0 disables)")
+
+		qVariant  = flag.String("quality-variant", "", "enable quality telemetry (POST /track, GET /debug/quality), naming this replica's A/B arm")
+		qWindow   = flag.Duration("quality-window", 0, "click-attribution window (0 = default 2m; requires -quality-variant)")
+		qBaseline = flag.String("quality-baseline", "", "offline baseline JSON from `serenade-eval -quality-baseline`, enables drift detection")
 	)
 	flag.Parse()
 	if *indexPath == "" {
@@ -90,6 +94,20 @@ func main() {
 	if *trendHL > 0 {
 		tracker = serenade.NewTrendingTracker(*trendHL)
 	}
+
+	var qualityOpts *serenade.QualityOptions
+	if *qVariant != "" || *qBaseline != "" {
+		qualityOpts = &serenade.QualityOptions{Variant: *qVariant, Window: *qWindow}
+		if *qBaseline != "" {
+			base, err := serenade.LoadQualityBaseline(*qBaseline)
+			if err != nil {
+				log.Fatal(err)
+			}
+			qualityOpts.Baseline = base
+			log.Printf("loaded quality baseline %s: profile=%s MRR@%d=%.4f cond=%.4f events=%d",
+				*qBaseline, base.Profile, base.K, base.MRR, base.CondMRR, base.Events)
+		}
+	}
 	srv, err := serenade.NewServer(idx, serenade.ServerConfig{
 		Params:             serenade.Params{M: *m, K: *k, Float32Scores: *f32Scores},
 		BatchWindow:        *batchWin,
@@ -115,6 +133,8 @@ func main() {
 		SLOLatencyThreshold: *sloP99,
 		SLOLatencyBudget:    *sloBudget,
 		SLOErrorBudget:      *sloErr,
+
+		Quality: qualityOpts,
 	})
 	if err != nil {
 		log.Fatal(err)

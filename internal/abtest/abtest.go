@@ -28,6 +28,7 @@ import (
 
 	"serenade/internal/core"
 	"serenade/internal/metrics"
+	"serenade/internal/rank"
 	"serenade/internal/sessions"
 )
 
@@ -222,11 +223,8 @@ func Run(cfg Config) (*Result, error) {
 
 			res.Impressions++
 			p1 := cfg.Model.BaseRate
-			for rank, r := range recs {
-				if r.Item == next {
-					p1 += cfg.Model.HitBoost * math.Pow(cfg.Model.RankDecay, float64(rank))
-					break
-				}
+			if r := rank.RankOfScored(recs, next, 0); r > 0 {
+				p1 += cfg.Model.HitBoost * math.Pow(cfg.Model.RankDecay, float64(r-1))
 			}
 			engaged1 := rng.Float64() < p1
 			if engaged1 {

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/obs/quality"
+	"serenade/internal/serving"
+	"serenade/internal/synth"
+)
+
+func qualityIndex(t *testing.T) *core.Index {
+	t.Helper()
+	ds, err := synth.Generate(synth.Small(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestProxyQualityFanOut: GET /proxy/quality aggregates every backend's
+// /debug/quality document keyed by backend name, and surfaces replicas
+// without quality telemetry under errors instead of dropping them.
+func TestProxyQualityFanOut(t *testing.T) {
+	idx := qualityIndex(t)
+	proxy := NewProxy()
+	for i := 0; i < 2; i++ {
+		cfg := serving.Config{Params: core.Params{M: 100, K: 50}}
+		if i == 0 {
+			cfg.Quality = &quality.Options{Variant: fmt.Sprintf("arm-%d", i)}
+		}
+		srv, err := serving.NewServer(idx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { srv.Close() })
+		u, _ := url.Parse(ts.URL)
+		proxy.AddBackend(fmt.Sprintf("pod-%d", i), u)
+	}
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/recommend?session_id=s%d&item_id=1", front.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(front.URL + "/proxy/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Replicas map[string]quality.Snapshot `json:"replicas"`
+		Errors   map[string]string           `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// pod-0 has telemetry; pod-1 404s and must land under errors.
+	if _, ok := out.Replicas["pod-0"]; !ok {
+		t.Fatalf("pod-0 missing from replicas: %+v", out)
+	}
+	if out.Replicas["pod-0"].Variant != "arm-0" {
+		t.Fatalf("pod-0 snapshot = %+v", out.Replicas["pod-0"])
+	}
+	if _, ok := out.Errors["pod-1"]; !ok {
+		t.Fatalf("quality-disabled pod-1 not surfaced under errors: %+v", out)
+	}
+}
+
+// TestPoolQualityAndTrack: recommendation ids are replica-local, so the pool
+// fans a feedback event across replicas until one attributes it, and the
+// aggregate Quality() view carries each replica's lines.
+func TestPoolQualityAndTrack(t *testing.T) {
+	idx := qualityIndex(t)
+	pool, err := NewPool(idx, serving.Config{
+		Params:  core.Params{M: 100, K: 50},
+		Quality: &quality.Options{Variant: "a", Window: time.Minute},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var tracked int
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("sess-%d", i)
+		resp, err := pool.Recommend(serving.Request{SessionKey: key, Item: 1, Consent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.RecommendationID == 0 {
+			t.Fatal("pool response has no recommendation id")
+		}
+		if len(resp.Items) == 0 {
+			continue
+		}
+		tr, ok := pool.Track(serving.TrackRequest{
+			RecommendationID: resp.RecommendationID,
+			Item:             resp.Items[0].Item,
+		})
+		if !ok {
+			t.Fatalf("Track found no quality-enabled replica")
+		}
+		if tr.Outcome == quality.OutcomeAttributed {
+			tracked++
+		}
+	}
+	if tracked == 0 {
+		t.Fatal("no clicks attributed through the pool")
+	}
+
+	snaps := pool.Quality()
+	if len(snaps) != 3 {
+		t.Fatalf("Quality() covered %d replicas, want 3", len(snaps))
+	}
+	var clicks uint64
+	for _, snap := range snaps {
+		for _, ln := range snap.Lines {
+			clicks += ln.Cumulative.Clicks
+		}
+	}
+	if clicks != uint64(tracked) {
+		t.Fatalf("aggregated clicks = %d, want %d", clicks, tracked)
+	}
+
+	// Note: ids are per-replica sequences, so an id can collide on a replica
+	// that did not serve the exposure. The fan-out stops at the first replica
+	// whose live slot matches the id; an id nobody recognises must not count.
+	if tr, _ := pool.Track(serving.TrackRequest{RecommendationID: 1 << 40, Item: 0}); tr.Outcome == quality.OutcomeAttributed {
+		t.Fatalf("phantom id attributed: %+v", tr)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"serenade/internal/core"
+	"serenade/internal/loadgen"
 	"serenade/internal/sessions"
 )
 
@@ -378,5 +380,95 @@ func TestDurationPercentile(t *testing.T) {
 	}
 	if got := durationPercentile(nil, 0.5); got != 0 {
 		t.Errorf("p50 of empty = %v, want 0", got)
+	}
+}
+
+// TestQualityRunQuick is the end-to-end acceptance check for the online
+// quality loop: replaying the labelled workload through quality-enabled
+// replicas with simulated position-biased clicks must recover, via inverse
+// propensity weighting, an online MRR estimate within tolerance of the
+// offline MRR the baseline replay measured on the very same traffic — and
+// the whole run must be deterministic under a fixed seed.
+func TestQualityRunQuick(t *testing.T) {
+	cfg := QualityRunConfig{
+		Variants: []string{"a", "b"},
+		Model:    loadgen.ClickModel{Seed: 17, VariantSkew: map[string]float64{"b": 0.7}},
+		Rounds:   12,
+	}
+	res, err := QualityRun(cfg, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline == nil || res.Baseline.MRR <= 0 || res.Baseline.CondMRR <= 0 {
+		t.Fatalf("degenerate baseline: %+v", res.Baseline)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Exposures != uint64(res.Steps*res.Rounds) {
+			t.Errorf("%s: exposures = %d, want %d (labelled steps x rounds)", r.Variant, r.Exposures, res.Steps*res.Rounds)
+		}
+		if r.Clicks == 0 {
+			t.Errorf("%s: no clicks attributed", r.Variant)
+		}
+		// The IPW estimator inverts the click model's own propensities, so
+		// the skewed arm must land on the same offline MRR as the neutral
+		// one — that invariance is the estimator's correctness check.
+		if diff := math.Abs(r.OnlineMRR-r.OfflineMRR) / r.OfflineMRR; diff > 0.25 {
+			t.Errorf("%s: online MRR %.4f vs offline %.4f (%.0f%% off, want ≤25%%)", r.Variant, r.OnlineMRR, r.OfflineMRR, diff*100)
+		}
+		// Healthy traffic against its own baseline must not read as drift.
+		if r.Drift {
+			t.Errorf("%s: healthy loop flagged drift (%s)", r.Variant, r.DriftReason)
+		}
+	}
+	// The skew suppresses arm b's raw CTR even though its IPW MRR matches.
+	if res.Rows[1].CTR >= res.Rows[0].CTR {
+		t.Errorf("skewed arm CTR %.4f not below neutral %.4f", res.Rows[1].CTR, res.Rows[0].CTR)
+	}
+
+	// Determinism: an identical run reproduces the quality numbers exactly.
+	res2, err := QualityRun(cfg, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		a, b := res.Rows[i], res2.Rows[i]
+		if a.Exposures != b.Exposures || a.Clicks != b.Clicks || a.OnlineMRR != b.OnlineMRR {
+			t.Errorf("run not deterministic: %+v vs %+v", a, b)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintQualityRun(&buf, res)
+	if !strings.Contains(buf.String(), "online MRR (IPW)") {
+		t.Error("printed quality table incomplete")
+	}
+}
+
+func TestQualityBaselineQuick(t *testing.T) {
+	base, err := QualityBaseline("retailrocket-sim", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.K <= 0 || base.Events == 0 || base.MRR <= 0 || base.HitRate <= 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	if len(base.RankDist) != base.K {
+		t.Errorf("rank dist has %d entries, want %d", len(base.RankDist), base.K)
+	}
+	var sum float64
+	for _, p := range base.RankDist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rank dist sums to %v, want 1", sum)
+	}
+	if base.CondMRR < base.MRR {
+		t.Errorf("cond MRR %.4f below unconditional %.4f", base.CondMRR, base.MRR)
+	}
+	if base.Coverage <= 0 || base.Coverage > 1 {
+		t.Errorf("coverage = %v", base.Coverage)
 	}
 }

@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"hash/fnv"
+	"math"
+
+	"serenade/internal/core"
+	"serenade/internal/rank"
+	"serenade/internal/serving"
+	"serenade/internal/sessions"
+)
+
+// ClickModel is a seeded behavioural click model over recommendation lists:
+// when the item the user actually clicked next appears in the returned list,
+// they click the recommendation slot with a probability that decays with the
+// item's rank position (position bias), optionally skewed per variant to
+// simulate arms of different engagement.
+//
+// The model is deterministic under a fixed seed: the click draw for a given
+// (session, step, variant) is a hash of those identities, not a shared PRNG
+// stream, so replaying the workload concurrently — or in a different order —
+// produces the same clicks. That determinism is what lets a loadtest run be
+// committed as a BENCH artifact and compared across PRs.
+//
+// Because the model knows its own propensities, the harness can invert them:
+// UnbiasedMRR reweights the attributed click-through counts by 1/p(rank)
+// (inverse propensity weighting) to recover the MRR@k the offline evaluator
+// measures, which is the online-vs-offline tolerance check.
+type ClickModel struct {
+	// Seed fixes the deterministic click draws.
+	Seed int64
+	// Base is the click probability at rank 1 when the next item leads the
+	// list; 0 means DefaultClickBase.
+	Base float64
+	// PosDecay is the multiplicative decay per rank position: the rank-r
+	// propensity is Base * PosDecay^(r-1). 0 means DefaultPosDecay.
+	PosDecay float64
+	// VariantSkew multiplies every propensity for a named variant (an
+	// engagement uplift or degradation per arm); unlisted variants use 1.
+	VariantSkew map[string]float64
+}
+
+// Default click-model parameters, matching the A/B simulator's engagement
+// shape (abtest.EngagementModel HitBoost/RankDecay).
+const (
+	DefaultClickBase = 0.35
+	DefaultPosDecay  = 0.85
+)
+
+// withDefaults fills zero fields.
+func (m ClickModel) withDefaults() ClickModel {
+	if m.Base <= 0 {
+		m.Base = DefaultClickBase
+	}
+	if m.PosDecay <= 0 {
+		m.PosDecay = DefaultPosDecay
+	}
+	return m
+}
+
+// skew resolves the variant multiplier.
+func (m ClickModel) skew(variant string) float64 {
+	if s, ok := m.VariantSkew[variant]; ok && s > 0 {
+		return s
+	}
+	return 1
+}
+
+// Propensity is the click probability for the next item at 1-based rank r
+// under a variant; 0 for r <= 0 (the item was not in the list — the model
+// never clicks items the user was not going to visit anyway).
+func (m ClickModel) Propensity(r int, variant string) float64 {
+	if r <= 0 {
+		return 0
+	}
+	mm := m.withDefaults()
+	p := mm.Base * math.Pow(mm.PosDecay, float64(r-1)) * mm.skew(variant)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Clicks decides whether the simulated user clicks the recommendation at
+// 1-based rank r, shown for (sessionKey, step) under a variant. The draw is
+// a pure function of the model seed and those identities.
+func (m ClickModel) Clicks(sessionKey string, step int, variant string, r int) bool {
+	p := m.Propensity(r, variant)
+	if p <= 0 {
+		return false
+	}
+	return draw(m.Seed, sessionKey, step, variant) < p
+}
+
+// draw hashes (seed, session, step, variant) into [0, 1).
+func draw(seed int64, sessionKey string, step int, variant string) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(&buf, uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(sessionKey))
+	putUint64(&buf, uint64(step))
+	h.Write(buf[:])
+	h.Write([]byte(variant))
+	// 53 bits of hash → uniform float64 in [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func putUint64(buf *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+}
+
+// UnbiasedMRR recovers an estimate of the offline MRR@k from attributed
+// click counts by rank: each rank-r click is reweighted by (1/r)/p(r), the
+// reciprocal-rank contribution divided by the propensity with which the
+// model surfaces it, then averaged over exposures (inverse propensity
+// weighting). With enough exposures this converges to the offline MRR@k the
+// evaluator measures on the same traffic, which is the online-vs-offline
+// tolerance check of the quality loop.
+func (m ClickModel) UnbiasedMRR(rankClicks []uint64, exposures uint64, variant string) float64 {
+	if exposures == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range rankClicks {
+		if c == 0 {
+			continue
+		}
+		r := i + 1
+		p := m.Propensity(r, variant)
+		if p <= 0 {
+			continue
+		}
+		sum += float64(c) * rank.Reciprocal(r) / p
+	}
+	return sum / float64(exposures)
+}
+
+// ClickStep is one replayed click with its ground-truth next item, the unit
+// the quality harness drives: issue the request, look up the next item's
+// rank in the response, roll the click model, and POST the feedback.
+type ClickStep struct {
+	Request serving.Request
+	// Next is the item the user actually visited next (the relevance label);
+	// NextValid is false on the session's final click, which has no label
+	// and therefore can never produce a simulated click.
+	Next      sessions.ItemID
+	NextValid bool
+	// Step is the click's position within its session, part of the
+	// deterministic draw identity.
+	Step int
+}
+
+// ClickWorkload is Workload with ground-truth labels attached: each click of
+// each test session becomes one step whose Next is the session's following
+// item. limit > 0 caps the number of steps.
+func ClickWorkload(ds *sessions.Dataset, limit int) []ClickStep {
+	var steps []ClickStep
+	for i := range ds.Sessions {
+		s := &ds.Sessions[i]
+		for t, item := range s.Items {
+			st := ClickStep{
+				Request: serving.Request{
+					SessionKey: sessionKeyFor(s.ID),
+					Item:       item,
+					Consent:    true,
+				},
+				Step: t,
+			}
+			if t+1 < len(s.Items) {
+				st.Next = s.Items[t+1]
+				st.NextValid = true
+			}
+			steps = append(steps, st)
+			if limit > 0 && len(steps) >= limit {
+				return steps
+			}
+		}
+	}
+	return steps
+}
+
+// RankOfNext reports the 1-based rank of the ground-truth next item in a
+// response list (0 when absent or unlabelled) — shared rank math with the
+// offline evaluator via internal/rank.
+func (st ClickStep) RankOfNext(items []core.ScoredItem) int {
+	if !st.NextValid {
+		return 0
+	}
+	return rank.RankOfScored(items, st.Next, 0)
+}
+
+func sessionKeyFor(id sessions.SessionID) string {
+	return "replay-" + itoa64(uint64(id))
+}
+
+func itoa64(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

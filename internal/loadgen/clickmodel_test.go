@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/synth"
+)
+
+func TestPropensityShape(t *testing.T) {
+	m := ClickModel{Seed: 1}
+	if p := m.Propensity(0, "a"); p != 0 {
+		t.Fatalf("Propensity(0) = %v, want 0", p)
+	}
+	if p := m.Propensity(1, "a"); p != DefaultClickBase {
+		t.Fatalf("Propensity(1) = %v, want %v", p, DefaultClickBase)
+	}
+	// Monotonically decaying with rank.
+	for r := 2; r <= 20; r++ {
+		if m.Propensity(r, "a") >= m.Propensity(r-1, "a") {
+			t.Fatalf("propensity not decaying at rank %d", r)
+		}
+	}
+	// Variant skew multiplies; unknown variants are neutral.
+	skewed := ClickModel{Seed: 1, VariantSkew: map[string]float64{"b": 0.5}}
+	if p := skewed.Propensity(1, "b"); math.Abs(p-DefaultClickBase*0.5) > 1e-12 {
+		t.Fatalf("skewed propensity = %v", p)
+	}
+	if p := skewed.Propensity(1, "other"); p != DefaultClickBase {
+		t.Fatalf("unskewed propensity = %v", p)
+	}
+	// Propensities cap at 1.
+	hot := ClickModel{Seed: 1, Base: 0.9, VariantSkew: map[string]float64{"b": 5}}
+	if p := hot.Propensity(1, "b"); p != 1 {
+		t.Fatalf("capped propensity = %v, want 1", p)
+	}
+}
+
+// TestClickDeterminism is the -click-model seed guarantee: the same seed
+// produces identical click decisions regardless of evaluation order, and a
+// different seed produces a different stream.
+func TestClickDeterminism(t *testing.T) {
+	m1 := ClickModel{Seed: 42}
+	m2 := ClickModel{Seed: 42}
+	m3 := ClickModel{Seed: 43}
+	same, diff := 0, 0
+	for step := 0; step < 500; step++ {
+		a := m1.Clicks("sess", step, "a", 1)
+		if b := m2.Clicks("sess", step, "a", 1); a != b {
+			t.Fatalf("same seed disagreed at step %d", step)
+		}
+		if a == m3.Clicks("sess", step, "a", 1) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical click streams")
+	}
+	// The draw is identity-hashed, not a shared stream: evaluating out of
+	// order changes nothing.
+	if m1.Clicks("sess", 7, "a", 1) != m2.Clicks("sess", 7, "a", 1) {
+		t.Fatal("out-of-order evaluation changed the draw")
+	}
+}
+
+// TestClickRateConverges: across many draws the empirical click rate at a
+// fixed rank approaches the configured propensity.
+func TestClickRateConverges(t *testing.T) {
+	m := ClickModel{Seed: 7}
+	const n = 20000
+	clicks := 0
+	for i := 0; i < n; i++ {
+		if m.Clicks("s", i, "a", 1) {
+			clicks++
+		}
+	}
+	got := float64(clicks) / n
+	if math.Abs(got-DefaultClickBase) > 0.02 {
+		t.Fatalf("empirical rate %v, want ~%v", got, DefaultClickBase)
+	}
+}
+
+// TestUnbiasedMRRRecovers: simulate position-biased clicks on a known rank
+// distribution and check the IPW estimator recovers the true MRR within
+// tolerance — the core of the online-vs-offline comparison.
+func TestUnbiasedMRRRecovers(t *testing.T) {
+	m := ClickModel{Seed: 11}
+	// Ground truth: the next item always lands at rank (i%4)+1, so true
+	// MRR = (1 + 1/2 + 1/3 + 1/4) / 4.
+	trueMRR := (1.0 + 0.5 + 1.0/3 + 0.25) / 4
+	const n = 40000
+	rankClicks := make([]uint64, 8)
+	for i := 0; i < n; i++ {
+		r := i%4 + 1
+		if m.Clicks("s", i, "a", r) {
+			rankClicks[r-1]++
+		}
+	}
+	got := m.UnbiasedMRR(rankClicks, n, "a")
+	if math.Abs(got-trueMRR)/trueMRR > 0.05 {
+		t.Fatalf("IPW MRR = %v, true %v (>5%% off)", got, trueMRR)
+	}
+	// Zero exposures never divide by zero.
+	if v := m.UnbiasedMRR(rankClicks, 0, "a"); v != 0 {
+		t.Fatalf("UnbiasedMRR with 0 exposures = %v", v)
+	}
+}
+
+func TestClickWorkloadLabels(t *testing.T) {
+	ds, err := synth.Generate(synth.Small(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := ClickWorkload(ds, 0)
+	if len(steps) == 0 {
+		t.Fatal("empty click workload")
+	}
+	// Each labelled step's Next is the session's following item; the final
+	// click of each session is unlabelled.
+	bySession := map[string][]ClickStep{}
+	for _, st := range steps {
+		bySession[st.Request.SessionKey] = append(bySession[st.Request.SessionKey], st)
+	}
+	for key, ss := range bySession {
+		for i, st := range ss {
+			if st.Step != i {
+				t.Fatalf("%s: step %d numbered %d", key, i, st.Step)
+			}
+			last := i == len(ss)-1
+			if last && st.NextValid {
+				t.Fatalf("%s: final click has a label", key)
+			}
+			if !last {
+				if !st.NextValid || st.Next != ss[i+1].Request.Item {
+					t.Fatalf("%s: step %d label %v/%v, want next item %v",
+						key, i, st.Next, st.NextValid, ss[i+1].Request.Item)
+				}
+			}
+		}
+	}
+	// The cap truncates.
+	if got := ClickWorkload(ds, 5); len(got) != 5 {
+		t.Fatalf("capped workload = %d steps, want 5", len(got))
+	}
+	// RankOfNext finds the labelled item in a scored list.
+	st := ClickStep{Next: 3, NextValid: true}
+	list := []core.ScoredItem{{Item: 5}, {Item: 3}, {Item: 9}}
+	if r := st.RankOfNext(list); r != 2 {
+		t.Fatalf("RankOfNext = %d, want 2", r)
+	}
+	if r := (ClickStep{}).RankOfNext(list); r != 0 {
+		t.Fatalf("unlabelled RankOfNext = %d, want 0", r)
+	}
+}

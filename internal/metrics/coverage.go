@@ -1,6 +1,9 @@
 package metrics
 
-import "serenade/internal/sessions"
+import (
+	"serenade/internal/rank"
+	"serenade/internal/sessions"
+)
 
 // CoverageAccumulator measures catalogue coverage and popularity bias of a
 // recommender — the standard session-rec companion metrics to accuracy:
@@ -56,9 +59,7 @@ type CoverageReport struct {
 // Report computes the summary.
 func (c *CoverageAccumulator) Report() CoverageReport {
 	r := CoverageReport{DistinctItems: len(c.recommended), Events: c.events}
-	if c.catalogSize > 0 {
-		r.Coverage = float64(len(c.recommended)) / float64(c.catalogSize)
-	}
+	r.Coverage = rank.Coverage(len(c.recommended), c.catalogSize)
 	if c.popCount > 0 {
 		r.MeanPopularity = c.popSum / float64(c.popCount)
 	}

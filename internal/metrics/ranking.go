@@ -7,8 +7,8 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
 
+	"serenade/internal/rank"
 	"serenade/internal/sessions"
 )
 
@@ -51,19 +51,21 @@ func (a *RankingAccumulator) Add(recs []sessions.ItemID, next sessions.ItemID, r
 		restSet[it] = struct{}{}
 	}
 
+	// MRR@k / HitRate@k score the immediate next item by its first-occurrence
+	// rank — shared with the online estimators via internal/rank so offline
+	// and production math cannot diverge.
+	if r := rank.RankOf(recs, next, k); r > 0 {
+		a.sumMRR += rank.Reciprocal(r)
+		a.sumHit++
+	}
+
 	// Each relevant item counts at most once even if the list repeats it
 	// (standard IR semantics; also keeps Recall <= 1 on malformed lists).
 	hits := 0
 	sumPrecAtHits := 0.0
-	nextFound := false
 	matched := make(map[sessions.ItemID]struct{}, k)
 	for i := 0; i < k; i++ {
 		r := recs[i]
-		if !nextFound && r == next {
-			a.sumMRR += 1.0 / float64(i+1)
-			a.sumHit++
-			nextFound = true
-		}
 		if _, ok := restSet[r]; !ok {
 			continue
 		}
@@ -124,23 +126,5 @@ func (r Report) String() string {
 // interpolation between order statistics. It returns 0 for empty input.
 // values need not be sorted; a sorted copy is made.
 func Quantile(values []float64, q float64) float64 {
-	if len(values) == 0 {
-		return 0
-	}
-	sorted := make([]float64, len(values))
-	copy(sorted, values)
-	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[lo]
-	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	return rank.Quantile(values, q)
 }

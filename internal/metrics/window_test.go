@@ -91,6 +91,54 @@ func TestWindowedCounterClampsWindow(t *testing.T) {
 	}
 }
 
+// TestWindowedCounterClockSkew drives the counter through NTP-style clock
+// steps. The invariants: a backward step recycles the slot it lands on (no
+// stale counts leak into sums), buckets stamped in the future relative to the
+// querying clock are excluded from Sum, and when the clock recovers the
+// still-live buckets become visible again.
+func TestWindowedCounterClockSkew(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1000)
+	w := NewWindowedCounter(time.Minute, clk.now)
+	w.Add(1, 0, 0) // stamped 1000
+
+	// The clock steps back 10s. The add lands in a fresh slot; the bucket
+	// stamped 1000 is now in this clock's future and must not be summed.
+	clk.set(990)
+	w.Add(1, 0, 0)
+	if tot, _, _ := w.Sum(time.Minute); tot != 1 {
+		t.Fatalf("Sum(1m) under backward skew = %d, want 1 (future bucket excluded)", tot)
+	}
+
+	// The clock recovers: both seconds are inside the window again.
+	clk.set(1000)
+	if tot, _, _ := w.Sum(time.Minute); tot != 2 {
+		t.Fatalf("Sum(1m) after recovery = %d, want 2", tot)
+	}
+
+	// A backward step landing on an already-stamped slot recycles it rather
+	// than merging counts across different seconds: 1005 and 945 share a slot
+	// (horizon 60), and the CAS on the stamp must reset the lanes.
+	clk.set(1005)
+	w.Add(5, 0, 0)
+	clk.set(945)
+	w.Add(3, 0, 0)
+	if tot, _, _ := w.Sum(time.Minute); tot != 3 {
+		t.Fatalf("Sum(1m) after backward recycle = %d, want 3 (no merged lanes)", tot)
+	}
+
+	// A large forward step ages everything out; the recycled slots must not
+	// resurrect old counts.
+	clk.set(5000)
+	if tot, _, _ := w.Sum(time.Minute); tot != 0 {
+		t.Fatalf("Sum(1m) after forward jump = %d, want 0", tot)
+	}
+	w.Add(7, 0, 0)
+	if tot, _, _ := w.Sum(time.Minute); tot != 7 {
+		t.Fatalf("Sum(1m) post-jump = %d, want 7", tot)
+	}
+}
+
 func TestWindowedMaxDeterministic(t *testing.T) {
 	clk := &fakeClock{}
 	clk.set(500)

@@ -36,6 +36,15 @@ type HealthSignal struct {
 	FastBurn bool    `json:"slo_fast_burn"`
 	SlowBurn bool    `json:"slo_slow_burn"`
 
+	// Recommendation-quality drift summary (worst variant/pipeline line):
+	// whether the online click-rank/score distribution departed from the
+	// offline baseline, the tripped check, and the headline online numbers.
+	QualityDrift       bool    `json:"quality_drift"`
+	QualityDriftReason string  `json:"quality_drift_reason,omitempty"`
+	QualityRankTV      float64 `json:"quality_rank_tv,omitempty"`
+	QualityMRRRatio    float64 `json:"quality_mrr_ratio,omitempty"`
+	QualityCTR         float64 `json:"quality_ctr,omitempty"`
+
 	// Runtime pressure.
 	Goroutines   int           `json:"goroutines"`
 	HeapAlloc    uint64        `json:"heap_alloc_bytes"`

@@ -1,0 +1,162 @@
+package quality
+
+import "serenade/internal/rank"
+
+// DriftThresholds tune the drift detector. Zero fields take defaults; the
+// CTR floor and score-ratio checks are opt-in (zero disables them) because
+// their natural values depend on the deployment's click model.
+type DriftThresholds struct {
+	// MaxRankTV is the maximum total-variation distance between the online
+	// click-rank distribution and the baseline's before drift is raised.
+	MaxRankTV float64 `json:"max_rank_tv"`
+	// MinMRRRatio is the minimum online-conditional-MRR / baseline-CondMRR
+	// ratio; below it the ranker is placing clicked items lower than the
+	// offline evaluation did.
+	MinMRRRatio float64 `json:"min_mrr_ratio"`
+	// MinClicks gates the distribution checks: with fewer attributed clicks
+	// in the horizon the TV/MRR statistics are noise.
+	MinClicks uint64 `json:"min_clicks"`
+	// CTRFloor raises drift when windowed CTR falls below it with at least
+	// MinExposures exposures — the check that still fires when degradation
+	// kills clicks entirely (so MinClicks can never be reached). Zero
+	// disables it.
+	CTRFloor float64 `json:"ctr_floor,omitempty"`
+	// MinExposures gates the CTR-floor check.
+	MinExposures uint64 `json:"min_exposures"`
+	// MinScoreRatio raises drift when the online median top-1 score falls
+	// below this fraction of the baseline's — a stale or mismatched index
+	// generation shifts scores before it shifts clicks. Zero disables it.
+	MinScoreRatio float64 `json:"min_score_ratio,omitempty"`
+}
+
+// Default drift thresholds.
+const (
+	DefaultMaxRankTV    = 0.35
+	DefaultMinMRRRatio  = 0.5
+	DefaultMinClicks    = 30
+	DefaultMinExposures = 200
+)
+
+// withDefaults fills zero fields.
+func (d DriftThresholds) withDefaults() DriftThresholds {
+	if d.MaxRankTV <= 0 {
+		d.MaxRankTV = DefaultMaxRankTV
+	}
+	if d.MinMRRRatio <= 0 {
+		d.MinMRRRatio = DefaultMinMRRRatio
+	}
+	if d.MinClicks == 0 {
+		d.MinClicks = DefaultMinClicks
+	}
+	if d.MinExposures == 0 {
+		d.MinExposures = DefaultMinExposures
+	}
+	return d
+}
+
+// DriftState is the detector's verdict for one line (or, via Drift, the
+// worst line): whether the online quality distribution has departed from
+// the offline baseline, and the statistics behind the call.
+type DriftState struct {
+	Drifting bool   `json:"drifting"`
+	Variant  string `json:"variant,omitempty"`
+	Pipeline string `json:"pipeline,omitempty"`
+	// Reason names the tripped check: rank_tv, mrr_ratio, ctr_floor,
+	// score_ratio; empty when not drifting.
+	Reason string `json:"reason,omitempty"`
+	// RankTV is the total-variation distance online-vs-baseline (0 when not
+	// computable).
+	RankTV float64 `json:"rank_tv"`
+	// MRRRatio is online CondMRR / baseline CondMRR (0 when not computable).
+	MRRRatio float64 `json:"mrr_ratio"`
+	// ScoreRatio is online median top-1 score / baseline's.
+	ScoreRatio float64 `json:"score_ratio,omitempty"`
+	CTR        float64 `json:"ctr"`
+	Clicks     uint64  `json:"clicks"`
+	Exposures  uint64  `json:"exposures"`
+}
+
+// lineDrift evaluates the detector for one line over the horizon.
+func (t *Tracker) lineDrift(ln *Line) DriftState {
+	th := t.opts.Drift
+	base := t.opts.Baseline
+	ws := t.windowStats(ln, t.opts.Horizon)
+	st := DriftState{
+		Variant:   ln.variant,
+		Pipeline:  ln.pipeline,
+		CTR:       ws.CTR,
+		Clicks:    ws.Clicks,
+		Exposures: ws.Exposures,
+	}
+	if th.CTRFloor > 0 && ws.Exposures >= th.MinExposures && ws.CTR < th.CTRFloor {
+		st.Drifting = true
+		st.Reason = "ctr_floor"
+	}
+	if base == nil {
+		return st
+	}
+	if ws.Clicks >= th.MinClicks {
+		if len(base.RankDist) > 0 {
+			h := t.windowedRanks(ln, t.opts.Horizon)
+			st.RankTV = rank.TotalVariation(h.Dist(), base.RankDist)
+			if !st.Drifting && st.RankTV > th.MaxRankTV {
+				st.Drifting = true
+				st.Reason = "rank_tv"
+			}
+		}
+		if base.CondMRR > 0 {
+			st.MRRRatio = ws.CondMRR / base.CondMRR
+			if !st.Drifting && st.MRRRatio < th.MinMRRRatio {
+				st.Drifting = true
+				st.Reason = "mrr_ratio"
+			}
+		}
+	}
+	if th.MinScoreRatio > 0 && base.TopScoreP50 > 0 && ws.Exposures >= th.MinExposures {
+		scores := t.windowedSamples(&ln.scoreStamp, &ln.scoreBits, t.opts.Horizon)
+		if len(scores) > 0 {
+			st.ScoreRatio = rank.Quantile(scores, 0.5) / base.TopScoreP50
+			if !st.Drifting && st.ScoreRatio < th.MinScoreRatio {
+				st.Drifting = true
+				st.Reason = "score_ratio"
+			}
+		}
+	}
+	return st
+}
+
+// Drift sweeps elapsed windows and returns the worst line's drift state: a
+// drifting line wins over a healthy one; among drifting lines the lowest
+// MRR ratio wins. The zero state (no lines) is healthy.
+func (t *Tracker) Drift() DriftState {
+	t.Sweep()
+	var worst DriftState
+	first := true
+	for _, ln := range t.snapshotLines() {
+		st := t.lineDrift(ln)
+		if first || driftWorse(st, worst) {
+			worst = st
+			first = false
+		}
+	}
+	if first {
+		return DriftState{}
+	}
+	return worst
+}
+
+// driftWorse orders drift states by severity.
+func driftWorse(a, b DriftState) bool {
+	if a.Drifting != b.Drifting {
+		return a.Drifting
+	}
+	if a.Drifting {
+		// Both drifting: the lower MRR ratio (or the higher TV when ratios
+		// are absent) is the worse arm.
+		if a.MRRRatio != b.MRRRatio {
+			return a.MRRRatio < b.MRRRatio
+		}
+		return a.RankTV > b.RankTV
+	}
+	return a.RankTV > b.RankTV
+}

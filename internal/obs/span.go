@@ -105,6 +105,11 @@ type Span struct {
 	SpanID   string
 	ParentID string // parent span id when the trace was propagated to us
 	Op       string
+	// RequestID is the id echoed to the caller in X-Request-Id (the inbound
+	// header when the caller supplied one, else the trace id). It joins an
+	// attributed recommendation-quality record back to its span in the
+	// slow-query log and the error-tier trace ring.
+	RequestID string
 
 	Start  time.Time
 	Total  time.Duration

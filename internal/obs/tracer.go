@@ -167,10 +167,11 @@ func (t *Tracer) FlushSlowLog() {
 // traceView is the JSON shape of one trace at /debug/traces. Durations are
 // nanoseconds; stages with zero time are omitted.
 type traceView struct {
-	TraceID  string           `json:"trace_id"`
-	SpanID   string           `json:"span_id"`
-	ParentID string           `json:"parent_id,omitempty"`
-	Op       string           `json:"op"`
+	TraceID   string           `json:"trace_id"`
+	SpanID    string           `json:"span_id"`
+	ParentID  string           `json:"parent_id,omitempty"`
+	RequestID string           `json:"request_id,omitempty"`
+	Op        string           `json:"op"`
 	Start    time.Time        `json:"start"`
 	TotalNS  int64            `json:"total_ns"`
 	Total    string           `json:"total"`
@@ -182,10 +183,11 @@ type traceView struct {
 
 func viewOf(sp Span) traceView {
 	v := traceView{
-		TraceID:  sp.TraceID,
-		SpanID:   sp.SpanID,
-		ParentID: sp.ParentID,
-		Op:       sp.Op,
+		TraceID:   sp.TraceID,
+		SpanID:    sp.SpanID,
+		ParentID:  sp.ParentID,
+		RequestID: sp.RequestID,
+		Op:        sp.Op,
 		Start:    sp.Start,
 		TotalNS:  int64(sp.Total),
 		Total:    sp.Total.String(),

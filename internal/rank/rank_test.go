@@ -1,0 +1,141 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"serenade/internal/core"
+	"serenade/internal/sessions"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestRankOf(t *testing.T) {
+	items := []sessions.ItemID{10, 20, 30, 20, 40}
+	cases := []struct {
+		target sessions.ItemID
+		k      int
+		want   int
+	}{
+		{10, 0, 1},
+		{20, 0, 2},  // first occurrence, not the duplicate at 4
+		{40, 0, 5},
+		{40, 3, 0},  // outside cutoff
+		{30, 3, 3},  // exactly at cutoff
+		{99, 0, 0},  // absent
+		{10, 100, 1}, // k beyond list clamps
+	}
+	for _, c := range cases {
+		if got := RankOf(items, c.target, c.k); got != c.want {
+			t.Errorf("RankOf(%v, %d, k=%d) = %d, want %d", items, c.target, c.k, got, c.want)
+		}
+	}
+	if got := RankOf(nil, 1, 0); got != 0 {
+		t.Errorf("RankOf(nil) = %d, want 0", got)
+	}
+}
+
+func TestRankOfScored(t *testing.T) {
+	recs := []core.ScoredItem{{Item: 5, Score: 3}, {Item: 7, Score: 2}, {Item: 9, Score: 1}}
+	if got := RankOfScored(recs, 7, 0); got != 2 {
+		t.Errorf("RankOfScored = %d, want 2", got)
+	}
+	if got := RankOfScored(recs, 9, 2); got != 0 {
+		t.Errorf("RankOfScored with cutoff = %d, want 0", got)
+	}
+	if got := RankOfScored(recs, 11, 0); got != 0 {
+		t.Errorf("RankOfScored absent = %d, want 0", got)
+	}
+}
+
+func TestReciprocal(t *testing.T) {
+	golden := []struct {
+		r    int
+		want float64
+	}{{0, 0}, {-3, 0}, {1, 1}, {2, 0.5}, {4, 0.25}, {10, 0.1}}
+	for _, g := range golden {
+		if got := Reciprocal(g.r); !almost(got, g.want) {
+			t.Errorf("Reciprocal(%d) = %g, want %g", g.r, got, g.want)
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage(25, 100); !almost(got, 0.25) {
+		t.Errorf("Coverage(25, 100) = %g, want 0.25", got)
+	}
+	if got := Coverage(5, 0); got != 0 {
+		t.Errorf("Coverage with unknown catalogue = %g, want 0", got)
+	}
+}
+
+func TestQuantileGolden(t *testing.T) {
+	vals := []float64{4, 1, 3, 2} // unsorted on purpose
+	golden := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+		{-1, 1}, {2, 4},
+	}
+	for _, g := range golden {
+		if got := Quantile(vals, g.q); !almost(got, g.want) {
+			t.Errorf("Quantile(%v, %g) = %g, want %g", vals, g.q, got, g.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %g, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); !almost(got, 7) {
+		t.Errorf("Quantile(single) = %g, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(1)
+	h.Add(1)
+	h.Add(2)
+	h.Add(5) // clamps into bucket 3
+	h.Add(0) // miss, ignored
+	h.Add(-1)
+	if got := h.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+	dist := h.Dist()
+	want := []float64{0.5, 0.25, 0.25}
+	for i := range want {
+		if !almost(dist[i], want[i]) {
+			t.Errorf("Dist[%d] = %g, want %g", i, dist[i], want[i])
+		}
+	}
+	// MRR over 8 trials: (2*1 + 1*0.5 + 1*(1/3)) / 8
+	if got, want := h.MRR(8), (2+0.5+1.0/3)/8; !almost(got, want) {
+		t.Errorf("MRR(8) = %g, want %g", got, want)
+	}
+	if got := h.MRR(0); got != 0 {
+		t.Errorf("MRR(0) = %g, want 0", got)
+	}
+	empty := NewHistogram(4)
+	if empty.Dist() != nil {
+		t.Error("empty histogram Dist should be nil")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	cases := []struct {
+		p, q []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 0},
+		{[]float64{1, 0}, []float64{0, 1}, 1},
+		{[]float64{0.5, 0.5}, []float64{0.25, 0.75}, 0.25},
+		{[]float64{0.5, 0.5}, []float64{0.5, 0.25, 0.25}, 0.25}, // length mismatch
+		{nil, []float64{1}, 0.5},
+	}
+	for _, c := range cases {
+		if got := TotalVariation(c.p, c.q); !almost(got, c.want) {
+			t.Errorf("TotalVariation(%v, %v) = %g, want %g", c.p, c.q, got, c.want)
+		}
+	}
+}

@@ -33,10 +33,14 @@ const IdempotencyReplayHeader = "X-Idempotency-Replay"
 //	GET  /debug/traces            recent request traces with stage timings
 //	GET  /debug/slo               multi-window SLO burn rates (JSON)
 //	GET  /debug/health            overload telemetry snapshot (JSON)
+//	POST /track                   click/conversion feedback attribution
+//	GET  /debug/quality           online quality windows + drift (JSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommendPost)
 	mux.HandleFunc("GET /v1/recommend", s.handleRecommendGet)
+	mux.HandleFunc("POST /track", s.handleTrack)
+	mux.HandleFunc("GET /debug/quality", s.handleQuality)
 	mux.HandleFunc("GET /v1/session/{id}", s.handleSession)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -140,6 +144,37 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTrack ingests click/conversion feedback and attributes it back to
+// the exposure its recommendation id names.
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	if s.quality == nil {
+		writeError(w, http.StatusNotFound, "quality telemetry is not enabled on this server")
+		return
+	}
+	var req TrackRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if req.Event != "" && req.Event != "click" && req.Event != "conversion" {
+		writeError(w, http.StatusBadRequest, "event must be \"click\" or \"conversion\"")
+		return
+	}
+	resp, _ := s.Track(req)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQuality serves the online quality snapshot.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if s.quality == nil {
+		writeError(w, http.StatusNotFound, "quality telemetry is not enabled on this server")
+		return
+	}
+	s.quality.Handler().ServeHTTP(w, r)
+}
+
 func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(r.Body)
@@ -176,13 +211,20 @@ func (s *Server) countBadRequest() {
 }
 
 // serveRecommend is the traced HTTP entry point: it continues a propagated
-// trace (Traceparent header) or starts a fresh one, echoes the trace id in
+// trace (Traceparent header) or starts a fresh one, echoes the request id in
 // X-Request-Id, and attributes response serialisation to the encode stage.
 func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	sp := s.tracer.StartRemote("recommend", r.Header.Get(obs.TraceparentHeader))
-	w.Header().Set(obs.RequestIDHeader, sp.TraceID)
+	// The caller's own request id wins when supplied; either way the id on
+	// the span is what the exposure record and the slow-query log carry, so
+	// an attributed bad recommendation joins back to its trace.
+	sp.RequestID = r.Header.Get(obs.RequestIDHeader)
+	if sp.RequestID == "" {
+		sp.RequestID = sp.TraceID
+	}
+	w.Header().Set(obs.RequestIDHeader, sp.RequestID)
 	if req.SessionKey == "" {
 		s.countBadRequest()
 		sp.SetError("bad_request")

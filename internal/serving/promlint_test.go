@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"serenade/internal/obs/quality"
 )
 
 var (
@@ -171,10 +173,16 @@ func TestPromExpositionConformance(t *testing.T) {
 		SLOLatencyThreshold: time.Millisecond,
 		SLOErrorBudget:      0.001,
 		Logger:              slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Quality:             &quality.Options{Variant: "a"},
 	})
 	for i := 0; i < 10; i++ {
-		if _, err := s.Recommend(Request{SessionKey: "u1", Item: popularItem(), Consent: true}); err != nil {
+		resp, err := s.Recommend(Request{SessionKey: "u1", Item: popularItem(), Consent: true})
+		if err != nil {
 			t.Fatal(err)
+		}
+		// Attribute a click so the quality counters carry real values.
+		if i == 0 && len(resp.Items) > 0 {
+			s.Track(TrackRequest{RecommendationID: resp.RecommendationID, Item: resp.Items[0].Item})
 		}
 	}
 	ts := httptest.NewServer(s.Handler())
@@ -210,6 +218,19 @@ func TestPromExpositionConformance(t *testing.T) {
 		"serenade_slowlog_suppressed_total":      false,
 		"serenade_result_cache_hit_ratio":        false,
 		"serenade_batcher_wait_max_seconds":      false,
+		"serenade_quality_exposures_total":       false,
+		"serenade_quality_clicks_total":          false,
+		"serenade_quality_conversions_total":     false,
+		"serenade_quality_nonclicks_total":       false,
+		"serenade_quality_ctr":                   false,
+		"serenade_quality_mrr":                   false,
+		"serenade_quality_cond_mrr":              false,
+		"serenade_quality_coverage":              false,
+		"serenade_quality_rank_clicks_total":     false,
+		"serenade_quality_drift":                 false,
+		"serenade_quality_drift_rank_tv":         false,
+		"serenade_quality_drift_mrr_ratio":       false,
+		"serenade_quality_track_unmatched_total": false,
 	}
 	for _, sm := range samples {
 		if _, ok := want[sm.name]; ok {

@@ -1,0 +1,349 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"serenade/internal/core"
+	"serenade/internal/obs"
+	"serenade/internal/obs/quality"
+	"serenade/internal/synth"
+)
+
+// qualityTestServer builds a server with the quality loop enabled and a
+// deterministic clock.
+func qualityTestServer(t testing.TB, clock *testClock, opts quality.Options) *Server {
+	t.Helper()
+	return testServer(t, Config{
+		Now:     clock.Now,
+		Quality: &opts,
+	})
+}
+
+func TestQualityEndToEnd(t *testing.T) {
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := qualityTestServer(t, clock, quality.Options{
+		Variant: "a",
+		Window:  30 * time.Second,
+		Horizon: 2 * time.Minute,
+	})
+
+	resp, err := s.Recommend(Request{SessionKey: "u1", Item: popularItem(), Consent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RecommendationID == 0 {
+		t.Fatal("response has no recommendation id")
+	}
+	if len(resp.Items) == 0 {
+		t.Fatal("no recommendations")
+	}
+
+	// Click the top recommendation.
+	tr, ok := s.Track(TrackRequest{RecommendationID: resp.RecommendationID, Item: resp.Items[0].Item, Event: "click"})
+	if !ok || tr.Outcome != quality.OutcomeAttributed || tr.Rank != 1 {
+		t.Fatalf("track = %+v, %v", tr, ok)
+	}
+	if tr.Variant != "a" {
+		t.Fatalf("variant = %q, want a", tr.Variant)
+	}
+
+	// A no-consent request lands on the depersonalised line.
+	dresp, err := s.Recommend(Request{SessionKey: "u2", Item: popularItem(), Consent: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.RecommendationID == 0 {
+		t.Fatal("depersonalised response has no recommendation id")
+	}
+
+	snap := s.Quality().Snapshot()
+	byPipeline := map[string]quality.LineSnapshot{}
+	for _, ls := range snap.Lines {
+		byPipeline[ls.Pipeline] = ls
+	}
+	if byPipeline["knn"].Cumulative.Clicks != 1 {
+		t.Fatalf("knn line = %+v", byPipeline["knn"].Cumulative)
+	}
+	if byPipeline["depersonalised"].Cumulative.Exposures != 1 {
+		t.Fatalf("depersonalised line = %+v", byPipeline["depersonalised"].Cumulative)
+	}
+
+	// The swept non-click resolves after the window.
+	clock.Advance(31 * time.Second)
+	s.SweepSessions()
+	snap = s.Quality().Snapshot()
+	for _, ls := range snap.Lines {
+		byPipeline[ls.Pipeline] = ls
+	}
+	if nc := byPipeline["depersonalised"].Cumulative.NonClicks; nc != 1 {
+		t.Fatalf("depersonalised non-clicks = %d, want 1", nc)
+	}
+}
+
+func TestQualityHTTPEndpoints(t *testing.T) {
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := qualityTestServer(t, clock, quality.Options{Variant: "a"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Recommend over HTTP to get a recommendation id.
+	resp, err := http.Post(ts.URL+"/v1/recommend", "application/json",
+		strings.NewReader(`{"session_id":"u1","item_id":0,"consent":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Response
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rec.RecommendationID == 0 || len(rec.Items) == 0 {
+		t.Fatalf("recommend response = %+v", rec)
+	}
+
+	// Track the click over HTTP.
+	body, _ := json.Marshal(TrackRequest{RecommendationID: rec.RecommendationID, Item: rec.Items[0].Item, Event: "click"})
+	tresp, err := http.Post(ts.URL+"/track", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tout TrackResponse
+	if err := json.NewDecoder(tresp.Body).Decode(&tout); err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if tout.Outcome != quality.OutcomeAttributed || tout.Rank != 1 {
+		t.Fatalf("track response = %+v", tout)
+	}
+
+	// Invalid event names are rejected.
+	bad, err := http.Post(ts.URL+"/track", "application/json",
+		strings.NewReader(`{"recommendation_id":1,"item_id":0,"event":"purchase"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad event status = %d, want 400", bad.StatusCode)
+	}
+
+	// The quality document is served at /debug/quality.
+	qresp, err := http.Get(ts.URL + "/debug/quality?exposures=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap quality.Snapshot
+	if err := json.NewDecoder(qresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if snap.Variant != "a" || len(snap.Lines) == 0 {
+		t.Fatalf("quality snapshot = %+v", snap)
+	}
+}
+
+func TestQualityDisabled(t *testing.T) {
+	s := testServer(t, Config{})
+	resp, err := s.Recommend(Request{SessionKey: "u1", Item: popularItem(), Consent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RecommendationID != 0 {
+		t.Fatalf("recommendation id = %d on a quality-disabled server, want 0", resp.RecommendationID)
+	}
+	if _, ok := s.Track(TrackRequest{RecommendationID: 1, Item: 0}); ok {
+		t.Fatal("Track reported ok on a quality-disabled server")
+	}
+	if s.Quality() != nil {
+		t.Fatal("Quality() non-nil on a disabled server")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodPost, "/track"},
+		{http.MethodGet, "/debug/quality"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader("{}"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestQualityDegradationTripsDrift is the induced-degradation acceptance
+// test: a healthy variant serves and earns clicks; then its index is swapped
+// for a mismatched build and the clicks stop (users do not click bad
+// recommendations). The CTR-floor check must raise quality_drift into
+// /debug/health.
+func TestQualityDegradationTripsDrift(t *testing.T) {
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := qualityTestServer(t, clock, quality.Options{
+		Variant: "b",
+		Window:  30 * time.Second,
+		Horizon: 2 * time.Minute,
+		Drift:   quality.DriftThresholds{CTRFloor: 0.2, MinExposures: 20},
+	})
+
+	click := func(n int, prefix string) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			resp, err := s.Recommend(Request{SessionKey: prefix + itoaTest(i), Item: popularItem(), Consent: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Items) > 0 {
+				s.Track(TrackRequest{RecommendationID: resp.RecommendationID, Item: resp.Items[0].Item})
+			}
+		}
+	}
+
+	// Healthy phase: everyone clicks.
+	click(30, "healthy-")
+	if h := s.Health(); h.QualityDrift {
+		t.Fatalf("healthy phase drifted: %+v", h)
+	}
+
+	// Age the healthy window out entirely.
+	clock.Advance(3 * time.Minute)
+
+	// Induced degradation: swap in an index built from a disjoint catalogue
+	// era; the served lists stop earning clicks.
+	ds, err := synth.Generate(synth.Small(123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := core.BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapIndex(other); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := s.Recommend(Request{SessionKey: "degraded-" + itoaTest(i), Item: popularItem(), Consent: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Advance(31 * time.Second) // past the attribution window: non-clicks resolve
+
+	h := s.Health()
+	if !h.QualityDrift {
+		t.Fatalf("degraded phase did not trip drift: %+v", h)
+	}
+	if h.QualityDriftReason != "ctr_floor" {
+		t.Fatalf("drift reason = %q, want ctr_floor", h.QualityDriftReason)
+	}
+	if h.QualityCTR != 0 {
+		t.Fatalf("degraded CTR = %v, want 0", h.QualityCTR)
+	}
+}
+
+// TestRequestIDPropagation is the request-id satellite: a caller-supplied
+// X-Request-Id must be echoed on the response, stamped into slow-query log
+// lines, and visible in the retained trace views.
+func TestRequestIDPropagation(t *testing.T) {
+	var logBuf bytes.Buffer
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := testServer(t, Config{
+		Now:                clock.Now,
+		SlowQueryThreshold: time.Nanosecond, // every request logs
+		Logger:             slog.New(slog.NewTextHandler(&logBuf, nil)),
+		Quality:            &quality.Options{Variant: "a"},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/recommend",
+		strings.NewReader(`{"session_id":"u1","item_id":0,"consent":true}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "req-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "req-abc-123" {
+		t.Fatalf("echoed request id = %q, want req-abc-123", got)
+	}
+
+	// The slow-query log line carries the id.
+	if !strings.Contains(logBuf.String(), "request_id=req-abc-123") {
+		t.Fatalf("slow log missing request_id:\n%s", logBuf.String())
+	}
+
+	// The trace ring carries it too.
+	traces, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(traces.Body)
+	traces.Body.Close()
+	if !strings.Contains(body.String(), `"request_id": "req-abc-123"`) &&
+		!strings.Contains(body.String(), `"request_id":"req-abc-123"`) {
+		t.Fatalf("trace view missing request_id:\n%s", body.String())
+	}
+
+	// Without a caller-supplied id the trace id stands in — never empty.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/recommend",
+		strings.NewReader(`{"session_id":"u2","item_id":0,"consent":true}`))
+	req2.Header.Set("Content-Type", "application/json")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get(obs.RequestIDHeader) == "" {
+		t.Fatal("request id header empty without caller-supplied id")
+	}
+}
+
+// itoaTest is a tiny strconv.Itoa stand-in for unique session keys.
+func itoaTest(n int) string {
+	return string(rune('a'+n%26)) + string(rune('a'+(n/26)%26))
+}
+
+// TestQualitySlowLogCarriesDriftState: once drift trips, slow-query log lines
+// gain the quality_drift attribute — the burn-state context satellite.
+func TestQualitySlowLogCarriesDriftState(t *testing.T) {
+	var logBuf bytes.Buffer
+	clock := &testClock{now: time.Unix(1_700_000_000, 0)}
+	s := testServer(t, Config{
+		Now:                clock.Now,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowLogPerSecond:   1000, // the warm-up burst must not eat the budget
+		Logger:             slog.New(slog.NewTextHandler(&logBuf, nil)),
+		Quality: &quality.Options{
+			Variant: "a",
+			Window:  10 * time.Second,
+			Drift:   quality.DriftThresholds{CTRFloor: 0.5, MinExposures: 5},
+		},
+	})
+	// Unclicked exposures past the window trip the CTR floor.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Recommend(Request{SessionKey: "u" + itoaTest(i), Item: popularItem(), Consent: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Advance(11 * time.Second)
+	logBuf.Reset()
+	if _, err := s.Recommend(Request{SessionKey: "late", Item: popularItem(), Consent: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := logBuf.String()
+	if !strings.Contains(out, "quality_drift=true") || !strings.Contains(out, "quality_drift_reason=ctr_floor") {
+		t.Fatalf("slow log missing drift context:\n%s", out)
+	}
+}
