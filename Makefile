@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race slo-race quality-race bench kernel-bench index-bench batch-bench slo-bench quality-bench fuzz-replay
+.PHONY: verify build vet test race slo-race quality-race bench kernel-bench index-bench batch-bench slo-bench quality-bench http-bench fuzz-replay
 
 verify: build vet test race
 
@@ -20,6 +20,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/core ./internal/serving ./internal/obs/... ./internal/metrics ./internal/cluster ./internal/kvstore ./client
+	$(GO) test -run 'TestHTTPAllocBudgets' ./internal/serving
 
 # The SLO engine and its feeders under the race detector: rolling-window
 # accumulators, burn-rate trackers, tail retention, health snapshots.
@@ -68,6 +69,16 @@ quality-bench:
 		| $(GO) run ./tools/benchjson > BENCH_quality.json
 	@echo wrote BENCH_quality.json
 
-# Replay the loader fuzz seed corpus (both on-disk formats) without fuzzing.
+# Full-stack HTTP edge benchmarks (recommend POST/GET, cache hit, idempotent
+# replay, track) with allocation counts, committed as the versioned
+# BENCH_http.json artifact — the zero-allocation edge's regression baseline.
+http-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHTTP' -benchmem \
+		./internal/serving | $(GO) run ./tools/benchjson > BENCH_http.json
+	@echo wrote BENCH_http.json
+
+# Replay the fuzz seed corpora without fuzzing: the index loader's on-disk
+# formats, the fastjson scanner differential, and the serving codec's
+# schema-level differential against encoding/json.
 fuzz-replay:
-	$(GO) test -run 'Fuzz' ./internal/index
+	$(GO) test -run 'Fuzz' ./internal/index ./internal/fastjson ./internal/serving

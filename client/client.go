@@ -18,13 +18,29 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"serenade/internal/core"
+	"serenade/internal/fastjson"
 	"serenade/internal/serving"
 	"serenade/internal/sessions"
 )
+
+// clientBuf is the pooled per-call scratch: the request body encodes into
+// enc, the response body reads into body, and dec is the reusable JSON
+// scanner. A buffer is held for the whole of do — retries re-read the same
+// encoded body — and recycled when the call returns.
+type clientBuf struct {
+	enc  []byte
+	body []byte
+	dec  fastjson.Dec
+}
+
+var bufPool = sync.Pool{New: func() any {
+	return &clientBuf{enc: make([]byte, 0, 256), body: make([]byte, 0, 2048)}
+}}
 
 // Options configures a Client.
 type Options struct {
@@ -86,15 +102,16 @@ func (c *Client) Recommend(ctx context.Context, sessionKey string, item sessions
 	if sessionKey == "" {
 		return serving.Response{}, fmt.Errorf("client: session key is required")
 	}
-	body, err := json.Marshal(serving.Request{SessionKey: sessionKey, Item: item, Consent: consent})
-	if err != nil {
-		return serving.Response{}, err
-	}
+	cb := bufPool.Get().(*clientBuf)
+	defer bufPool.Put(cb)
+	req := serving.Request{SessionKey: sessionKey, Item: item, Consent: consent}
+	cb.enc = serving.EncodeRequest(cb.enc[:0], &req)
 	var out serving.Response
 	// One key per logical click: every retry of this call carries the same
 	// key, so a retry whose first attempt actually landed is deduplicated
 	// server-side instead of appending the click to the session twice.
-	err = c.do(ctx, http.MethodPost, "/v1/recommend", sessionKey, newIdempotencyKey(), body, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/recommend", sessionKey, newIdempotencyKey(), cb, cb.enc,
+		func(data []byte) error { return serving.DecodeResponse(&cb.dec, data, &out) })
 	return out, err
 }
 
@@ -106,12 +123,13 @@ func (c *Client) Recommend(ctx context.Context, sessionKey string, item sessions
 // exposure. POSTing feedback is not idempotent-keyed: a duplicated click
 // is deduplicated server-side by the per-exposure attribution state.
 func (c *Client) Track(ctx context.Context, sessionKey string, recommendationID uint64, item sessions.ItemID, event string) (serving.TrackResponse, error) {
-	body, err := json.Marshal(serving.TrackRequest{RecommendationID: recommendationID, Item: item, Event: event})
-	if err != nil {
-		return serving.TrackResponse{}, err
-	}
+	cb := bufPool.Get().(*clientBuf)
+	defer bufPool.Put(cb)
+	req := serving.TrackRequest{RecommendationID: recommendationID, Item: item, Event: event}
+	cb.enc = serving.EncodeTrackRequest(cb.enc[:0], &req)
 	var out serving.TrackResponse
-	err = c.do(ctx, http.MethodPost, "/track", sessionKey, "", body, &out)
+	err := c.do(ctx, http.MethodPost, "/track", sessionKey, "", cb, cb.enc,
+		func(data []byte) error { return serving.DecodeTrackResponse(&cb.dec, data, &out) })
 	return out, err
 }
 
@@ -119,14 +137,16 @@ func (c *Client) Track(ctx context.Context, sessionKey string, recommendationID 
 func (c *Client) Explain(ctx context.Context, sessionKey string, item sessions.ItemID) (core.Explanation, error) {
 	var out core.Explanation
 	path := "/v1/explain?session_id=" + url.QueryEscape(sessionKey) + "&item_id=" + strconv.FormatUint(uint64(item), 10)
-	err := c.do(ctx, http.MethodGet, path, sessionKey, "", nil, &out)
+	err := c.do(ctx, http.MethodGet, path, sessionKey, "", nil, nil,
+		func(data []byte) error { return json.Unmarshal(data, &out) })
 	return out, err
 }
 
 // Stats fetches the server's counters.
 func (c *Client) Stats(ctx context.Context) (serving.Stats, error) {
 	var out serving.Stats
-	err := c.do(ctx, http.MethodGet, "/metrics", "", "", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/metrics", "", "", nil, nil,
+		func(data []byte) error { return json.Unmarshal(data, &out) })
 	return out, err
 }
 
@@ -198,7 +218,10 @@ func asAPIError(err error, target **apiError) bool {
 	return ok
 }
 
-func (c *Client) do(ctx context.Context, method, path, sessionKey, idemKey string, body []byte, out any) error {
+// do runs one API call with retries. cb, when non-nil, provides the reusable
+// response-read buffer (the request body, if any, is the caller's and must
+// stay valid across attempts); decode is handed the complete response body.
+func (c *Client) do(ctx context.Context, method, path, sessionKey, idemKey string, cb *clientBuf, body []byte, decode func([]byte) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -231,14 +254,41 @@ func (c *Client) do(ctx context.Context, method, path, sessionKey, idemKey strin
 			}
 			continue
 		}
-		err = json.NewDecoder(resp.Body).Decode(out)
+		var data []byte
+		if cb != nil {
+			cb.body, err = readAppend(cb.body[:0], resp.Body)
+			data = cb.body
+		} else {
+			data, err = io.ReadAll(resp.Body)
+		}
 		resp.Body.Close()
+		if err == nil {
+			err = decode(data)
+		}
 		if err != nil {
 			return fmt.Errorf("client: decoding response: %w", err)
 		}
 		return nil
 	}
 	return lastErr
+}
+
+// readAppend reads r to EOF into dst's backing array, growing only when the
+// body exceeds the retained capacity.
+func readAppend(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
 }
 
 // idemSeq breaks ties in the fallback key path; see newIdempotencyKey.
@@ -254,7 +304,9 @@ func newIdempotencyKey() string {
 		binary.BigEndian.PutUint64(buf[:8], uint64(time.Now().UnixNano()))
 		binary.BigEndian.PutUint64(buf[8:], idemSeq.Add(1))
 	}
-	return hex.EncodeToString(buf[:])
+	var dst [32]byte
+	hex.Encode(dst[:], buf[:])
+	return string(dst[:])
 }
 
 // StatusCode extracts the HTTP status from an error returned by this

@@ -20,11 +20,44 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the debug mux (flag-gated)
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"serenade"
 )
+
+// parseByteSize parses a human byte size for -gomemlimit: a plain integer is
+// bytes; binary suffixes KiB/MiB/GiB/TiB and decimal KB/MB/GB/TB (and bare
+// K/M/G/T, binary) are accepted, matching the runtime's GOMEMLIMIT syntax
+// plus the decimal forms.
+func parseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			t = strings.TrimSpace(t[:len(t)-len(u.suffix)])
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(t, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -61,10 +94,25 @@ func main() {
 		qVariant  = flag.String("quality-variant", "", "enable quality telemetry (POST /track, GET /debug/quality), naming this replica's A/B arm")
 		qWindow   = flag.Duration("quality-window", 0, "click-attribution window (0 = default 2m; requires -quality-variant)")
 		qBaseline = flag.String("quality-baseline", "", "offline baseline JSON from `serenade-eval -quality-baseline`, enables drift detection")
+
+		gogc     = flag.Int("gogc", 0, "GC target percentage (runtime/debug.SetGCPercent); 0 keeps the runtime default / GOGC env. The mostly-static index heap tolerates a high value (e.g. 400) for fewer GC cycles")
+		memLimit = flag.String("gomemlimit", "", "soft memory limit, e.g. 4GiB (runtime/debug.SetMemoryLimit); empty keeps the runtime default / GOMEMLIMIT env. Pair with a high -gogc to cap the pod instead of pacing by live-heap growth")
 	)
 	flag.Parse()
 	if *indexPath == "" {
 		log.Fatal("-index is required")
+	}
+	if *gogc > 0 {
+		prev := debug.SetGCPercent(*gogc)
+		log.Printf("gc target set to %d%% (was %d%%)", *gogc, prev)
+	}
+	if *memLimit != "" {
+		limit, err := parseByteSize(*memLimit)
+		if err != nil {
+			log.Fatalf("-gomemlimit: %v", err)
+		}
+		debug.SetMemoryLimit(limit)
+		log.Printf("soft memory limit set to %s (%d bytes)", *memLimit, limit)
 	}
 	syncPolicy, err := serenade.ParseWALSyncPolicy(*walSync)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httputil"
 	"net/url"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,6 +58,20 @@ type proxyErrKey struct{}
 
 type proxyErr struct{ err error }
 
+// copyBufPool feeds the reverse proxies' body-copy loops. Without a
+// BufferPool, httputil.ReverseProxy allocates a fresh 32 KiB buffer per
+// forwarded request; recycling them here makes the proxy's fan-out copies
+// steady-state allocation-free, matching the discipline on the serving edge.
+type copyBufPool struct{ p sync.Pool }
+
+func (b *copyBufPool) Get() []byte  { return *b.p.Get().(*[]byte) }
+func (b *copyBufPool) Put(v []byte) { b.p.Put(&v) }
+
+var proxyCopyBufs = &copyBufPool{p: sync.Pool{New: func() any {
+	buf := make([]byte, 32*1024)
+	return &buf
+}}}
+
 // NewProxy returns a proxy with no backends.
 func NewProxy() *Proxy {
 	return &Proxy{
@@ -77,6 +92,7 @@ func (p *Proxy) Registry() *obs.Registry { return p.reg }
 // redeployed backend keeps its series.
 func (p *Proxy) AddBackend(name string, target *url.URL) {
 	rp := httputil.NewSingleHostReverseProxy(target)
+	rp.BufferPool = proxyCopyBufs
 	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
 		if slot, ok := r.Context().Value(proxyErrKey{}).(*proxyErr); ok {
 			slot.err = err
@@ -114,10 +130,38 @@ func (p *Proxy) RemoveBackend(name string) {
 // Backends lists registered backend names.
 func (p *Proxy) Backends() []string { return p.ring.Nodes() }
 
-// SessionKey extracts the affinity key from a request.
+// SessionKey extracts the affinity key from a request. The query string is
+// scanned by hand rather than through r.URL.Query(): building url.Values
+// allocates a map plus a string per parameter on every forwarded request,
+// and the proxy only ever needs the first session_id. The scan mirrors
+// url.ParseQuery's semantics — first occurrence wins, segments containing a
+// semicolon are skipped — and unescapes only when the value actually
+// contains '%' or '+', so the common case returns a substring of RawQuery.
 func SessionKey(r *http.Request) string {
-	if key := r.URL.Query().Get("session_id"); key != "" {
-		return key
+	q := r.URL.RawQuery
+	for len(q) > 0 {
+		seg := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			seg, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		if seg == "" || strings.IndexByte(seg, ';') >= 0 {
+			continue
+		}
+		k, v, _ := strings.Cut(seg, "=")
+		if k != "session_id" {
+			continue
+		}
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			if v != "" {
+				return v
+			}
+			continue
+		}
+		if dec, err := url.QueryUnescape(v); err == nil && dec != "" {
+			return dec
+		}
 	}
 	return r.Header.Get("X-Session-Id")
 }

@@ -170,6 +170,11 @@ func PrintLoadTest(w io.Writer, res *LoadTestResult) {
 	printTable(w, header, cells)
 	fmt.Fprintf(w, "overall: sent=%d errors=%d achieved=%.0f req/s  %s\n",
 		res.Sent, res.Errors, res.AchievedRPS, res.Total.Summary())
+	// The GC line reads against the edge's allocation budget: allocs/req is
+	// process-wide (generator bookkeeping included), so watch the trend, not
+	// the absolute — a pooling regression moves it by whole allocations.
+	fmt.Fprintf(w, "gc: pause=%s cycles=%d allocs/req=%.1f alloc-bytes/req=%.0f\n",
+		res.GCPause.Round(time.Microsecond), res.GCCycles, res.AllocsPerRequest, res.AllocBytesPerReq)
 
 	if len(res.Replicas) == 0 {
 		return

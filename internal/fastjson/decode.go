@@ -1,0 +1,484 @@
+package fastjson
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// maxNestingDepth caps how deep SkipValue will descend into arrays/objects.
+// encoding/json enforces the same limit (10000) in its scanner; matching it
+// keeps the accept/reject sets aligned on hostile deeply-nested inputs.
+const maxNestingDepth = 10000
+
+// ErrTooDeep mirrors encoding/json's "exceeded max depth" scanner error.
+var ErrTooDeep = errors.New("fastjson: exceeded max depth")
+
+// A SyntaxError reports malformed JSON with the byte offset where scanning
+// failed, like encoding/json's SyntaxError.
+type SyntaxError struct {
+	msg    string
+	Offset int64
+}
+
+func (e *SyntaxError) Error() string { return e.msg }
+
+// Dec is an iterative pull decoder over a complete JSON document held in
+// memory. It allocates only when a string value actually contains escape
+// sequences (and then into a reusable scratch buffer); unescaped strings are
+// returned as zero-copy subslices of the input.
+//
+// Dec is not safe for concurrent use; pool it alongside the request scratch.
+type Dec struct {
+	buf []byte
+	pos int
+	// scratch backs the most recent escaped string value; see ReadString.
+	scratch []byte
+}
+
+// Init points the decoder at data and resets position. The decoder retains
+// data until the next Init; callers own the buffer and must not mutate it
+// while decoding.
+func (d *Dec) Init(data []byte) {
+	d.buf = data
+	d.pos = 0
+}
+
+// Pos returns the current byte offset, for error reporting.
+func (d *Dec) Pos() int { return d.pos }
+
+func (d *Dec) syntaxf(format string, args ...any) error {
+	return &SyntaxError{msg: "fastjson: " + fmt.Sprintf(format, args...), Offset: int64(d.pos)}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// SkipSpace advances past JSON whitespace.
+func (d *Dec) SkipSpace() {
+	for d.pos < len(d.buf) && isSpace(d.buf[d.pos]) {
+		d.pos++
+	}
+}
+
+// Peek returns the next non-space byte without consuming it, or 0 at EOF.
+func (d *Dec) Peek() byte {
+	d.SkipSpace()
+	if d.pos >= len(d.buf) {
+		return 0
+	}
+	return d.buf[d.pos]
+}
+
+// Expect consumes the next non-space byte, which must be c.
+func (d *Dec) Expect(c byte) error {
+	d.SkipSpace()
+	if d.pos >= len(d.buf) {
+		return d.syntaxf("unexpected end of JSON input")
+	}
+	if d.buf[d.pos] != c {
+		return d.syntaxf("invalid character %q looking for %q", d.buf[d.pos], c)
+	}
+	d.pos++
+	return nil
+}
+
+// TryConsume consumes the next non-space byte if it equals c.
+func (d *Dec) TryConsume(c byte) bool {
+	if d.Peek() == c {
+		d.pos++
+		return true
+	}
+	return false
+}
+
+// TryNull consumes a null literal if present and reports whether it did.
+// Decoding null into a field is a no-op in encoding/json, so codecs call
+// this before every field read.
+func (d *Dec) TryNull() bool {
+	d.SkipSpace()
+	if d.pos+4 <= len(d.buf) && string(d.buf[d.pos:d.pos+4]) == "null" {
+		d.pos += 4
+		return true
+	}
+	return false
+}
+
+// AtEOF reports whether only whitespace remains. A json.Decoder stops after
+// the first value and ignores trailing bytes, so codecs do NOT require EOF;
+// this exists for tests and strict callers.
+func (d *Dec) AtEOF() bool {
+	d.SkipSpace()
+	return d.pos >= len(d.buf)
+}
+
+// ReadString reads a JSON string value. The returned slice aliases the input
+// buffer when the string has no escapes, and the decoder's scratch buffer
+// otherwise — either way it is only valid until the next ReadString or Init.
+func (d *Dec) ReadString() ([]byte, error) {
+	if err := d.Expect('"'); err != nil {
+		return nil, err
+	}
+	start := d.pos
+	// Fast path: scan for the closing quote; bail to the slow path at the
+	// first escape or invalid UTF-8 byte (which encoding/json's unquote
+	// rewrites to U+FFFD). Raw control characters are invalid in JSON.
+	for i := d.pos; i < len(d.buf); {
+		c := d.buf[i]
+		if c == '"' {
+			d.pos = i + 1
+			return d.buf[start:i], nil
+		}
+		if c == '\\' {
+			return d.readStringSlow(start)
+		}
+		if c < 0x20 {
+			d.pos = i
+			return nil, d.syntaxf("invalid character %q in string literal", c)
+		}
+		if c < utf8.RuneSelf {
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(d.buf[i:])
+		if r == utf8.RuneError && size == 1 {
+			return d.readStringSlow(start)
+		}
+		i += size
+	}
+	d.pos = len(d.buf)
+	return nil, d.syntaxf("unexpected end of JSON input")
+}
+
+// readStringSlow unescapes into scratch, mirroring encoding/json's
+// unquoteBytes: \uXXXX with UTF-16 surrogate-pair combining, unpaired
+// surrogates repaired to U+FFFD, and invalid UTF-8 bytes rewritten to
+// U+FFFD (unquote re-validates UTF-8 as it copies).
+func (d *Dec) readStringSlow(start int) ([]byte, error) {
+	d.scratch = d.scratch[:0]
+	i := start
+	for i < len(d.buf) {
+		c := d.buf[i]
+		switch {
+		case c == '"':
+			d.pos = i + 1
+			return d.scratch, nil
+		case c == '\\':
+			i++
+			if i >= len(d.buf) {
+				d.pos = i
+				return nil, d.syntaxf("unexpected end of JSON input")
+			}
+			switch d.buf[i] {
+			case '"':
+				d.scratch = append(d.scratch, '"')
+				i++
+			case '\\':
+				d.scratch = append(d.scratch, '\\')
+				i++
+			case '/':
+				d.scratch = append(d.scratch, '/')
+				i++
+			case 'b':
+				d.scratch = append(d.scratch, '\b')
+				i++
+			case 'f':
+				d.scratch = append(d.scratch, '\f')
+				i++
+			case 'n':
+				d.scratch = append(d.scratch, '\n')
+				i++
+			case 'r':
+				d.scratch = append(d.scratch, '\r')
+				i++
+			case 't':
+				d.scratch = append(d.scratch, '\t')
+				i++
+			case 'u':
+				i++
+				r, ok := readHex4(d.buf, i)
+				if !ok {
+					d.pos = i
+					return nil, d.syntaxf("invalid character in \\u hexadecimal escape")
+				}
+				i += 4
+				if utf16.IsSurrogate(r) {
+					// Try to combine with a following \uXXXX low surrogate.
+					if i+6 <= len(d.buf) && d.buf[i] == '\\' && d.buf[i+1] == 'u' {
+						if r2, ok2 := readHex4(d.buf, i+2); ok2 {
+							if dec := utf16.DecodeRune(r, r2); dec != unicode.ReplacementChar {
+								i += 6
+								d.scratch = utf8.AppendRune(d.scratch, dec)
+								continue
+							}
+						}
+					}
+					r = unicode.ReplacementChar
+				}
+				d.scratch = utf8.AppendRune(d.scratch, r)
+			default:
+				d.pos = i
+				return nil, d.syntaxf("invalid character %q in string escape code", d.buf[i])
+			}
+		case c < 0x20:
+			d.pos = i
+			return nil, d.syntaxf("invalid character %q in string literal", c)
+		case c < utf8.RuneSelf:
+			d.scratch = append(d.scratch, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(d.buf[i:])
+			if r == utf8.RuneError && size == 1 {
+				d.scratch = utf8.AppendRune(d.scratch, unicode.ReplacementChar)
+				i++
+				continue
+			}
+			d.scratch = append(d.scratch, d.buf[i:i+size]...)
+			i += size
+		}
+	}
+	d.pos = len(d.buf)
+	return nil, d.syntaxf("unexpected end of JSON input")
+}
+
+func readHex4(b []byte, i int) (rune, bool) {
+	if i+4 > len(b) {
+		return 0, false
+	}
+	var r rune
+	for _, c := range b[i : i+4] {
+		switch {
+		case c >= '0' && c <= '9':
+			c -= '0'
+		case c >= 'a' && c <= 'f':
+			c = c - 'a' + 10
+		case c >= 'A' && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return 0, false
+		}
+		r = r*16 + rune(c)
+	}
+	return r, true
+}
+
+// scanNumber consumes one JSON number token (RFC 8259 grammar) and returns
+// the token bytes plus whether it is a plain integer (no fraction or
+// exponent; a leading '-' is allowed and visible in tok). Matching the token
+// grammar first means inputs like "01" or "1." are rejected exactly where
+// encoding/json rejects them.
+func (d *Dec) scanNumber() (tok []byte, intOnly bool, err error) {
+	d.SkipSpace()
+	start := d.pos
+	i := d.pos
+	n := len(d.buf)
+	intOnly = true
+	if i < n && d.buf[i] == '-' {
+		i++
+	}
+	switch {
+	case i < n && d.buf[i] == '0':
+		i++
+	case i < n && d.buf[i] >= '1' && d.buf[i] <= '9':
+		i++
+		for i < n && d.buf[i] >= '0' && d.buf[i] <= '9' {
+			i++
+		}
+	default:
+		d.pos = i
+		if i >= n {
+			return nil, false, d.syntaxf("unexpected end of JSON input")
+		}
+		return nil, false, d.syntaxf("invalid character %q looking for number", d.buf[i])
+	}
+	if i < n && d.buf[i] == '.' {
+		intOnly = false
+		i++
+		if i >= n || d.buf[i] < '0' || d.buf[i] > '9' {
+			d.pos = i
+			return nil, false, d.syntaxf("invalid number literal")
+		}
+		for i < n && d.buf[i] >= '0' && d.buf[i] <= '9' {
+			i++
+		}
+	}
+	if i < n && (d.buf[i] == 'e' || d.buf[i] == 'E') {
+		intOnly = false
+		i++
+		if i < n && (d.buf[i] == '+' || d.buf[i] == '-') {
+			i++
+		}
+		if i >= n || d.buf[i] < '0' || d.buf[i] > '9' {
+			d.pos = i
+			return nil, false, d.syntaxf("invalid number literal")
+		}
+		for i < n && d.buf[i] >= '0' && d.buf[i] <= '9' {
+			i++
+		}
+	}
+	d.pos = i
+	return d.buf[start:i], intOnly, nil
+}
+
+// ReadUint reads a JSON number into a uint64. Like encoding/json unmarshaling
+// into a uint field, any valid JSON number token that is not a plain
+// non-negative integer ("-1", "1.5", "1e2", "1.0") is an error.
+func (d *Dec) ReadUint() (uint64, error) {
+	tok, intOnly, err := d.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	if !intOnly || tok[0] == '-' {
+		return 0, d.syntaxf("number %s is not a valid unsigned integer", tok)
+	}
+	var v uint64
+	for _, c := range tok {
+		digit := uint64(c - '0')
+		if v > (math.MaxUint64-digit)/10 {
+			return 0, d.syntaxf("number %s overflows uint64", tok)
+		}
+		v = v*10 + digit
+	}
+	return v, nil
+}
+
+// ReadInt reads a JSON number into an int64, rejecting fractions, exponents
+// and overflow like encoding/json unmarshaling into an int field.
+func (d *Dec) ReadInt() (int64, error) {
+	tok, intOnly, err := d.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	if !intOnly {
+		return 0, d.syntaxf("number %s is not a valid integer", tok)
+	}
+	v, err := strconv.ParseInt(bytesToString(tok), 10, 64)
+	if err != nil {
+		return 0, d.syntaxf("number %s overflows int64", tok)
+	}
+	return v, nil
+}
+
+// ReadFloat reads any JSON number as a float64.
+func (d *Dec) ReadFloat() (float64, error) {
+	tok, _, err := d.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(bytesToString(tok), 64)
+	if err != nil {
+		return 0, d.syntaxf("invalid number %s", tok)
+	}
+	return v, nil
+}
+
+// ReadBool reads true or false.
+func (d *Dec) ReadBool() (bool, error) {
+	d.SkipSpace()
+	if d.pos+4 <= len(d.buf) && string(d.buf[d.pos:d.pos+4]) == "true" {
+		d.pos += 4
+		return true, nil
+	}
+	if d.pos+5 <= len(d.buf) && string(d.buf[d.pos:d.pos+5]) == "false" {
+		d.pos += 5
+		return false, nil
+	}
+	if d.pos >= len(d.buf) {
+		return false, d.syntaxf("unexpected end of JSON input")
+	}
+	return false, d.syntaxf("invalid character %q looking for boolean", d.buf[d.pos])
+}
+
+// SkipValue consumes one complete JSON value of any kind, validating its
+// syntax. Used to skip unknown fields on lenient decodes. Recursive descent
+// with the same depth cap as encoding/json's scanner; frames are small, so
+// the capped recursion stays well under Go's stack limit.
+func (d *Dec) SkipValue() error {
+	return d.skipValue(0)
+}
+
+func (d *Dec) skipValue(depth int) error {
+	d.SkipSpace()
+	if d.pos >= len(d.buf) {
+		return d.syntaxf("unexpected end of JSON input")
+	}
+	switch c := d.buf[d.pos]; c {
+	case '{':
+		if depth+1 > maxNestingDepth {
+			return ErrTooDeep
+		}
+		d.pos++
+		if d.TryConsume('}') {
+			return nil
+		}
+		for {
+			if _, err := d.ReadString(); err != nil {
+				return err
+			}
+			if err := d.Expect(':'); err != nil {
+				return err
+			}
+			if err := d.skipValue(depth + 1); err != nil {
+				return err
+			}
+			d.SkipSpace()
+			if d.pos >= len(d.buf) {
+				return d.syntaxf("unexpected end of JSON input")
+			}
+			switch d.buf[d.pos] {
+			case ',':
+				d.pos++
+			case '}':
+				d.pos++
+				return nil
+			default:
+				return d.syntaxf("invalid character %q after object value", d.buf[d.pos])
+			}
+		}
+	case '[':
+		if depth+1 > maxNestingDepth {
+			return ErrTooDeep
+		}
+		d.pos++
+		if d.TryConsume(']') {
+			return nil
+		}
+		for {
+			if err := d.skipValue(depth + 1); err != nil {
+				return err
+			}
+			d.SkipSpace()
+			if d.pos >= len(d.buf) {
+				return d.syntaxf("unexpected end of JSON input")
+			}
+			switch d.buf[d.pos] {
+			case ',':
+				d.pos++
+			case ']':
+				d.pos++
+				return nil
+			default:
+				return d.syntaxf("invalid character %q after array element", d.buf[d.pos])
+			}
+		}
+	case '"':
+		_, err := d.ReadString()
+		return err
+	case 't', 'f':
+		_, err := d.ReadBool()
+		return err
+	case 'n':
+		if !d.TryNull() {
+			return d.syntaxf("invalid character %q looking for value", c)
+		}
+		return nil
+	default:
+		_, _, err := d.scanNumber()
+		return err
+	}
+}

@@ -1,0 +1,325 @@
+package fastjson
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// stringCases covers every escaping class in the compatibility contract.
+var stringCases = []string{
+	"",
+	"plain ascii",
+	"session-42",
+	`quote " and backslash \`,
+	"html <b>&amp;</b> escaping",
+	"control \x00 \x01 \x1f chars",
+	"short escapes \b \f \n \r \t",
+	"utf8 héllo wörld ★ 日本語",
+	"emoji \U0001F600 pair",
+	"invalid \xff utf8",
+	"truncated \xe2\x80 seq",
+	"lone continuation \x80 byte",
+	"line sep   and para sep  ",
+	"mixed \xffé <>&\"\\\x02ok",
+	strings.Repeat("long ascii run ", 100),
+}
+
+func TestAppendStringDifferential(t *testing.T) {
+	for _, s := range stringCases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("AppendString(%q)\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendFloatDifferential(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 0.1, 123.456,
+		1e-6, 9.999e-7, 1e-7, 1e-9, 2.5e-10,
+		1e20, 9.999e20, 1e21, 1.5e21, 1e22,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		-math.MaxFloat64, -math.SmallestNonzeroFloat64,
+		0.265511, 3.141592653589793, 1e100, 1e-100,
+		float64(1 << 53), float64(1<<53) + 2,
+	}
+	for _, v := range cases {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", v, err)
+		}
+		got := AppendFloat(nil, v)
+		if string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, want %s", v, got, want)
+		}
+	}
+	// Carve-out: values encoding/json refuses to encode at all.
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := AppendFloat(nil, v); string(got) != "0" {
+			t.Errorf("AppendFloat(%v) = %s, want 0", v, got)
+		}
+	}
+}
+
+func TestAppendUintAndItemID(t *testing.T) {
+	cases := []uint64{0, 1, 9, 10, 99, 100, 999, 4095, 4096, 4097, 65535,
+		1<<32 - 1, 1 << 32, math.MaxUint64}
+	for _, v := range cases {
+		want := strconv.FormatUint(v, 10)
+		if got := AppendUint(nil, v); string(got) != want {
+			t.Errorf("AppendUint(%d) = %s, want %s", v, got, want)
+		}
+		if v <= math.MaxUint32 {
+			if got := AppendItemID(nil, uint32(v)); string(got) != want {
+				t.Errorf("AppendItemID(%d) = %s, want %s", v, got, want)
+			}
+		}
+	}
+	for id := uint32(0); id < itemIDCacheSize; id++ {
+		if string(itemIDCache[id]) != strconv.FormatUint(uint64(id), 10) {
+			t.Fatalf("itemIDCache[%d] = %s", id, itemIDCache[id])
+		}
+	}
+}
+
+func TestAppendInt(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64 + 1} {
+		want := strconv.FormatInt(v, 10)
+		if got := AppendInt(nil, v); string(got) != want {
+			t.Errorf("AppendInt(%d) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestAppendBool(t *testing.T) {
+	if got := AppendBool(nil, true); string(got) != "true" {
+		t.Fatalf("got %s", got)
+	}
+	if got := AppendBool(nil, false); string(got) != "false" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+// TestReadStringDifferential round-trips every encoder case and a battery of
+// hand-written escape forms through both decoders.
+func TestReadStringDifferential(t *testing.T) {
+	inputs := make([]string, 0, len(stringCases)+16)
+	for _, s := range stringCases {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, string(b))
+	}
+	inputs = append(inputs,
+		"\"\\u0041ll\"",           // simple hex escape
+		"\"\\ud83d\\ude00\"",      // surrogate pair
+		"\"\\uD83D\\uDE00\"",      // upper-case surrogate pair
+		"\"\\ud800\"",              // unpaired high surrogate
+		"\"\\udc00\"",              // unpaired low surrogate
+		"\"\\ud800x\"",             // high surrogate then ordinary char
+		"\"\\ud800\\ud800\"",      // two high surrogates
+		"\"\\ud800\\u0041\"",      // high surrogate then non-surrogate escape
+		`"\/slash\/"`,                 // solidus escape
+		"\"\\u2028\\u2029\"",      // escaped separators
+		"\"\\u0000\"",              // escaped NUL
+		"\"pre \\n mid \xff post\"",   // escape plus invalid utf8 raw byte
+		`"tab\there"`,                 // short escape mid-string
+		"\"\\ufffd\"",              // escaped replacement char
+	)
+	var d Dec
+	for _, in := range inputs {
+		var want string
+		wantErr := json.Unmarshal([]byte(in), &want)
+
+		d.Init([]byte(in))
+		got, gotErr := d.ReadString()
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("ReadString(%q): err = %v, encoding/json err = %v", in, gotErr, wantErr)
+			continue
+		}
+		if wantErr == nil && string(got) != want {
+			t.Errorf("ReadString(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadStringRejects(t *testing.T) {
+	bad := []string{``, `"`, `"abc`, `"\`, `"\q"`, `"\u12"`, `"\u12zz"`, "\"raw\nnewline\"", "\"ctl\x01\"", `123`}
+	var d Dec
+	for _, in := range bad {
+		var s string
+		if err := json.Unmarshal([]byte(in), &s); err == nil {
+			t.Fatalf("case %q unexpectedly valid for encoding/json", in)
+		}
+		d.Init([]byte(in))
+		if _, err := d.ReadString(); err == nil {
+			t.Errorf("ReadString(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestReadUintDifferential checks value and accept/reject parity with
+// unmarshaling into a uint64 field.
+func TestReadUintDifferential(t *testing.T) {
+	inputs := []string{
+		"0", "1", "42", "4095", "4096", "65536", "18446744073709551615",
+		"18446744073709551616", // overflow
+		"-1", "1.0", "1.5", "1e2", "0.5", "01", "1.", "1e", "+1", "", "--1",
+		"  7 ", "\t12\n",
+	}
+	var d Dec
+	for _, in := range inputs {
+		var want uint64
+		wantErr := json.Unmarshal([]byte(in), &want)
+
+		d.Init([]byte(in))
+		got, gotErr := d.ReadUint()
+		// json.Unmarshal additionally requires the whole input be consumed;
+		// the primitive follows Decoder.Decode (stop after one value), so
+		// fold the trailing-data check in here for parity.
+		ok := gotErr == nil && d.AtEOF()
+
+		if (wantErr == nil) != ok {
+			t.Errorf("ReadUint(%q): err = %v, encoding/json err = %v", in, gotErr, wantErr)
+			continue
+		}
+		if wantErr == nil && got != want {
+			t.Errorf("ReadUint(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestReadFloatDifferential(t *testing.T) {
+	inputs := []string{
+		"0", "-0", "1", "-1", "0.5", "1e2", "1E2", "1e+2", "1e-2", "123.456",
+		"1e308", "1e309", "5e-324", "1e-400", "2.5e-10",
+		"01", "1.", ".5", "1e", "nan", "inf", "--1", "",
+	}
+	var d Dec
+	for _, in := range inputs {
+		var want float64
+		wantErr := json.Unmarshal([]byte(in), &want)
+
+		d.Init([]byte(in))
+		got, gotErr := d.ReadFloat()
+		ok := gotErr == nil && d.AtEOF()
+
+		if (wantErr == nil) != ok {
+			t.Errorf("ReadFloat(%q): err = %v, encoding/json err = %v", in, gotErr, wantErr)
+			continue
+		}
+		if wantErr == nil && got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("ReadFloat(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestReadBool(t *testing.T) {
+	var d Dec
+	d.Init([]byte(" true"))
+	if v, err := d.ReadBool(); err != nil || !v {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	d.Init([]byte("false"))
+	if v, err := d.ReadBool(); err != nil || v {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	for _, in := range []string{"", "tru", "False", "null", "1"} {
+		d.Init([]byte(in))
+		if _, err := d.ReadBool(); err == nil {
+			t.Errorf("ReadBool(%q) succeeded", in)
+		}
+	}
+}
+
+// TestSkipValueDifferential checks that SkipValue accepts exactly the
+// documents json.Valid accepts (when asked to consume the whole input).
+func TestSkipValueDifferential(t *testing.T) {
+	inputs := []string{
+		`{}`, `[]`, `null`, `true`, `false`, `0`, `-1.5e3`, `"s"`,
+		`{"a":1,"b":[1,2,{"c":null}],"d":"x"}`,
+		`[[[[[]]]]]`,
+		`[1,2,3]`, `[1,]`, `[,1]`, `{,}`, `{"a"}`, `{"a":}`, `{"a":1,}`,
+		`{"a" 1}`, `[1 2]`, `["a":1]`, `tru`, `nul`, `{`, `[`, `"`,
+		`{"k":"v"} `, `  [0]  `,
+	}
+	var d Dec
+	for _, in := range inputs {
+		want := json.Valid([]byte(in))
+		d.Init([]byte(in))
+		err := d.SkipValue()
+		ok := err == nil && d.AtEOF()
+		if ok != want {
+			t.Errorf("SkipValue(%q): ok = %v (err=%v), json.Valid = %v", in, ok, err, want)
+		}
+	}
+}
+
+func TestSkipValueDepthCap(t *testing.T) {
+	deep := strings.Repeat("[", maxNestingDepth+1) + strings.Repeat("]", maxNestingDepth+1)
+	var d Dec
+	d.Init([]byte(deep))
+	if err := d.SkipValue(); err != ErrTooDeep {
+		t.Fatalf("err = %v, want ErrTooDeep", err)
+	}
+	okDepth := strings.Repeat("[", 100) + strings.Repeat("]", 100)
+	d.Init([]byte(okDepth))
+	if err := d.SkipValue(); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSkipValueStopsAfterValue verifies Decoder-style positioning: the scan
+// stops right after the first value so object loops can continue.
+func TestSkipValueStopsAfterValue(t *testing.T) {
+	var d Dec
+	d.Init([]byte(`{"skip":[1,2]},"next"`))
+	if err := d.SkipValue(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Peek(); got != ',' {
+		t.Fatalf("Peek after skip = %q, want ','", got)
+	}
+}
+
+func TestDecoderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	var d Dec
+	in := []byte(`{"session_id":"bench-1","item_id":123,"consent":true}`)
+	// Warm scratch once.
+	d.Init(in)
+	_ = d.SkipValue()
+	allocs := testing.AllocsPerRun(200, func() {
+		d.Init(in)
+		if err := d.SkipValue(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SkipValue allocs = %v, want 0", allocs)
+	}
+
+	dst := make([]byte, 0, 256)
+	allocs = testing.AllocsPerRun(200, func() {
+		dst = dst[:0]
+		dst = AppendString(dst, "session-42")
+		dst = AppendItemID(dst, 123)
+		dst = AppendFloat(dst, 0.265511)
+		dst = AppendUint(dst, 1<<40)
+		dst = AppendBool(dst, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("encode allocs = %v, want 0", allocs)
+	}
+}

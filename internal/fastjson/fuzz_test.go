@@ -1,0 +1,36 @@
+package fastjson
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScannerValid differentially checks the scanner against the standard
+// library's validator: SkipValue consuming an entire input without error
+// must agree with json.Valid, in both directions. The schema-level
+// differential fuzz (internal/serving's FuzzFastJSON) covers the typed
+// decode paths; this target covers the raw syntax scanner those decoders
+// lean on for unknown fields.
+func FuzzScannerValid(f *testing.F) {
+	f.Add([]byte(`{"a":[1,2.5e-3,true,null,"xAy"],"b":{}}`))
+	f.Add([]byte(`  [ -0.5 , "😀" , false ]  `))
+	f.Add([]byte(`"lone \ud800 surrogate"`))
+	f.Add([]byte("\"raw \xff bytes\""))
+	f.Add([]byte(`1e309`))
+	f.Add([]byte(`00`))
+	f.Add([]byte(`{"k":1,}`))
+	f.Add([]byte(`[[[[[[[[]]]]]]]]`))
+	f.Add([]byte(`{}garbage`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Dec
+		d.Init(data)
+		err := d.SkipValue()
+		got := err == nil && d.AtEOF()
+		if want := json.Valid(data); got != want {
+			t.Fatalf("scanner validity divergence on %q: fastjson %v (err %v), json.Valid %v",
+				data, got, err, want)
+		}
+	})
+}

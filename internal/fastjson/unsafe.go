@@ -1,0 +1,10 @@
+package fastjson
+
+import "unsafe"
+
+// bytesToString returns a string view over b without copying. The caller
+// must not mutate b while the string is live; used only for transient
+// strconv parses inside the decoder.
+func bytesToString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

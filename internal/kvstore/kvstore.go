@@ -177,6 +177,14 @@ type Store struct {
 	// compactMu serializes whole Compact calls (their temp files collide).
 	compactMu sync.Mutex
 
+	// snapshotting is true while Compact serializes its memtable cut off the
+	// write path. The cut shares value backing with live entries, so Put's
+	// in-place buffer reuse is suspended (fresh allocations only) for the
+	// duration. Set before the cut's commitMu release, so commitMu ordering
+	// makes it visible to every Put that can run concurrently with
+	// serialization.
+	snapshotting atomic.Bool
+
 	// walMu protects the WAL handle and its append/sync bookkeeping.
 	walMu   sync.Mutex
 	wal     *os.File
@@ -366,8 +374,6 @@ func (s *Store) shardFor(key string) *shard {
 // within one group-commit interval.
 func (s *Store) Put(key string, value []byte) error {
 	now := s.opts.Now().UnixNano()
-	v := make([]byte, len(value))
-	copy(v, value)
 	s.commitMu.RLock()
 	defer s.commitMu.RUnlock()
 	if err := s.appendWAL(opPut, key, value, now); err != nil {
@@ -379,6 +385,17 @@ func (s *Store) Put(key string, value []byte) error {
 	s.ops.puts.Add(1)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	var v []byte
+	// Rewriting a key reuses the previous value's buffer when it fits — the
+	// session-update hot path rewrites the same key every request. Readers
+	// copy under the shard lock, so no alias escapes; during a snapshot
+	// serialization the cut shares this backing, so reuse is suspended.
+	if old, ok := sh.m[key]; ok && cap(old.value) >= len(value) && !s.snapshotting.Load() {
+		v = old.value[:len(value)]
+	} else {
+		v = make([]byte, len(value))
+	}
+	copy(v, value)
 	sh.m[key] = entry{value: v, lastAccess: now}
 	sh.mu.Unlock()
 	return nil
@@ -388,6 +405,15 @@ func (s *Store) Put(key string, value []byte) error {
 // entry's TTL ("30 minutes of inactivity" is a sliding window). The second
 // result reports whether the key was present and unexpired.
 func (s *Store) Get(key string) ([]byte, bool) {
+	return s.GetAppend(key, nil)
+}
+
+// GetAppend is Get for pooled callers: the value is appended to dst (which
+// may be a reused buffer) and the extended slice returned, so a steady-state
+// reader allocates nothing once its buffer has grown to size. The copy
+// happens under the shard lock — it must, now that Put may recycle a value's
+// backing in place.
+func (s *Store) GetAppend(key string, dst []byte) ([]byte, bool) {
 	now := s.opts.Now()
 	s.ops.gets.Add(1)
 	sh := s.shardFor(key)
@@ -395,21 +421,20 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	e, ok := sh.m[key]
 	if !ok {
 		sh.mu.Unlock()
-		return nil, false
+		return dst, false
 	}
 	if s.expired(e, now) {
 		delete(sh.m, key)
 		sh.mu.Unlock()
 		s.ops.evictions.Add(1)
-		return nil, false
+		return dst, false
 	}
 	e.lastAccess = now.UnixNano()
 	sh.m[key] = e
+	dst = append(dst, e.value...)
 	sh.mu.Unlock()
 	s.ops.hits.Add(1)
-	out := make([]byte, len(e.value))
-	copy(out, e.value)
-	return out, true
+	return dst, true
 }
 
 // Delete removes key. Deleting a missing key is not an error.
@@ -691,11 +716,17 @@ func (s *Store) Compact() error {
 		}
 		sh.mu.RUnlock()
 	}
+	// The cut shares value backing with the memtable. Suspend Put's in-place
+	// buffer reuse until serialization is done; setting the flag before the
+	// exclusive commit lock drops makes it visible to every Put that can
+	// overlap Phase 2.
+	s.snapshotting.Store(true)
+	defer s.snapshotting.Store(false)
 	s.commitMu.Unlock()
 
-	// Phase 2 — serialize and install the snapshot off the write path.
-	// Entry values are never mutated in place (Put stores fresh copies), so
-	// the captured slice is a consistent image.
+	// Phase 2 — serialize and install the snapshot off the write path. Put
+	// stores fresh copies while snapshotting is set, so the captured slice
+	// is a consistent image.
 	tmp := filepath.Join(s.opts.Dir, snapshotName+".tmp")
 	if err := writeSnapshotFile(tmp, live); err != nil {
 		return err

@@ -1,0 +1,123 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// storedBacking returns the address of the first byte of the value stored
+// under key, for asserting whether a rewrite reused the old buffer.
+func storedBacking(t *testing.T, s *Store, key string) *byte {
+	t.Helper()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[key]
+	if !ok || len(e.value) == 0 {
+		t.Fatalf("no stored value under %q", key)
+	}
+	return &e.value[0]
+}
+
+func TestGetAppendReusesDst(t *testing.T) {
+	s := openMem(t, 0, nil)
+	if err := s.Put("k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A dst with enough capacity is extended in place: same backing array,
+	// no allocation on the steady-state read path.
+	dst := make([]byte, 0, 32)
+	got, ok := s.GetAppend("k", dst)
+	if !ok || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("GetAppend = %q,%v want hello,true", got, ok)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Error("GetAppend reallocated although dst had capacity")
+	}
+
+	// Existing content in dst is preserved — GetAppend appends, like the
+	// standard library's append-style APIs.
+	prefixed, ok := s.GetAppend("k", []byte("pre-"))
+	if !ok || !bytes.Equal(prefixed, []byte("pre-hello")) {
+		t.Fatalf("GetAppend with prefix = %q,%v", prefixed, ok)
+	}
+
+	// A miss returns dst unchanged and ok=false.
+	miss, ok := s.GetAppend("absent", dst)
+	if ok || len(miss) != 0 {
+		t.Fatalf("GetAppend miss = %q,%v want empty,false", miss, ok)
+	}
+}
+
+// TestGetAppendCopies pins the aliasing contract: the returned bytes are a
+// copy, never a window into the memtable — required now that Put may rewrite
+// a value's backing in place.
+func TestGetAppendCopies(t *testing.T) {
+	s := openMem(t, 0, nil)
+	s.Put("k", []byte("abc"))
+	v, _ := s.GetAppend("k", nil)
+	v[0] = 'X'
+	if again, _ := s.Get("k"); !bytes.Equal(again, []byte("abc")) {
+		t.Error("mutating a GetAppend result corrupted the store")
+	}
+	s.Put("k", []byte("zzz"))
+	if !bytes.Equal(v, []byte("Xbc")) {
+		t.Error("a Put rewrote bytes previously returned by GetAppend")
+	}
+}
+
+func TestPutReusesValueBuffer(t *testing.T) {
+	s := openMem(t, 0, nil)
+	if err := s.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	before := storedBacking(t, s, "k")
+
+	// Rewriting with a value that fits reuses the old backing — the session
+	// hot path rewrites the same key every request at near-constant size.
+	if err := s.Put("k", []byte("abcde")); err != nil {
+		t.Fatal(err)
+	}
+	if after := storedBacking(t, s, "k"); after != before {
+		t.Error("Put allocated a fresh buffer although the old one fit")
+	}
+	if v, _ := s.Get("k"); !bytes.Equal(v, []byte("abcde")) {
+		t.Fatalf("Get after in-place rewrite = %q", v)
+	}
+
+	// A larger value cannot fit and must get fresh backing.
+	grown := bytes.Repeat([]byte("x"), 64)
+	if err := s.Put("k", grown); err != nil {
+		t.Fatal(err)
+	}
+	if after := storedBacking(t, s, "k"); after == before {
+		t.Error("Put reused a buffer smaller than the new value")
+	}
+	if v, _ := s.Get("k"); !bytes.Equal(v, grown) {
+		t.Fatalf("Get after growing rewrite = %q", v)
+	}
+}
+
+// TestPutSnapshotSuspendsReuse verifies the Compact interlock: while the
+// snapshotting flag is up, a fitting rewrite must NOT recycle the old
+// backing, because the compaction cut aliases it.
+func TestPutSnapshotSuspendsReuse(t *testing.T) {
+	s := openMem(t, 0, nil)
+	if err := s.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	before := storedBacking(t, s, "k")
+
+	s.snapshotting.Store(true)
+	defer s.snapshotting.Store(false)
+	if err := s.Put("k", []byte("abcde")); err != nil {
+		t.Fatal(err)
+	}
+	if after := storedBacking(t, s, "k"); after == before {
+		t.Error("Put reused a value buffer during snapshot serialization")
+	}
+	if v, _ := s.Get("k"); !bytes.Equal(v, []byte("abcde")) {
+		t.Fatalf("Get = %q", v)
+	}
+}

@@ -11,6 +11,7 @@ package loadgen
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +88,16 @@ type Result struct {
 	Errors      uint64
 	AchievedRPS float64
 	Elapsed     time.Duration
+
+	// GC telemetry over the run (process-wide MemStats deltas). The
+	// allocation count includes the generator's own bookkeeping, so the
+	// absolute number overstates the server cost slightly; its movement
+	// between runs is the signal — an edge that re-grows per-request
+	// garbage shows up here before the latency percentiles react.
+	AllocsPerRequest float64
+	AllocBytesPerReq float64
+	GCPause          time.Duration
+	GCCycles         uint32
 }
 
 // Run drives do at the configured rate. do receives a monotonically
@@ -111,6 +122,8 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 	var sent, errs atomic.Uint64
 	queue := make(chan uint64, cfg.TargetRPS) // one second of headroom
 	var wg sync.WaitGroup
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 
 	for w := 0; w < workers; w++ {
@@ -164,6 +177,8 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	sent.Store(n)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	cores := <-cpuSamples
 	points := make([]BucketPoint, 0)
@@ -181,14 +196,21 @@ func Run(cfg Config, do func(i uint64) error) (*Result, error) {
 		}
 		points = append(points, p)
 	}
-	return &Result{
+	res := &Result{
 		Points:      points,
 		Total:       series.Total(),
 		Sent:        sent.Load(),
 		Errors:      errs.Load(),
 		AchievedRPS: float64(sent.Load()) / elapsed.Seconds(),
 		Elapsed:     elapsed,
-	}, nil
+		GCPause:     time.Duration(msAfter.PauseTotalNs - msBefore.PauseTotalNs),
+		GCCycles:    msAfter.NumGC - msBefore.NumGC,
+	}
+	if done := res.Sent; done > 0 {
+		res.AllocsPerRequest = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(done)
+		res.AllocBytesPerReq = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(done)
+	}
+	return res, nil
 }
 
 // sampleCPUPerBucket samples process CPU time per bucket for the duration

@@ -45,12 +45,23 @@ type HealthSignal struct {
 	QualityMRRRatio    float64 `json:"quality_mrr_ratio,omitempty"`
 	QualityCTR         float64 `json:"quality_ctr,omitempty"`
 
-	// Runtime pressure.
-	Goroutines   int           `json:"goroutines"`
-	HeapAlloc    uint64        `json:"heap_alloc_bytes"`
-	LastGCPause  time.Duration `json:"last_gc_pause_ns"`
-	GCPauseTotal time.Duration `json:"gc_pause_total_ns"`
+	// Runtime pressure. AllocRate is the heap allocation rate between
+	// successive health polls — the leading GC-pressure indicator: a deploy
+	// that regresses the hot path's allocation discipline shows here before
+	// pause times move.
+	Goroutines    int           `json:"goroutines"`
+	HeapAlloc     uint64        `json:"heap_alloc_bytes"`
+	AllocTotal    uint64        `json:"alloc_total_bytes"`
+	AllocRate     float64       `json:"alloc_bytes_per_sec"`
+	LastGCPause   time.Duration `json:"last_gc_pause_ns"`
+	GCPauseTotal  time.Duration `json:"gc_pause_total_ns"`
+	GCCycles      uint32        `json:"gc_cycles"`
+	GCCPUFraction float64       `json:"gc_cpu_fraction"`
 }
+
+// healthAllocMeter backs AllocRate across FillRuntime calls; package-level
+// because the signal itself is a per-poll value.
+var healthAllocMeter AllocRateMeter
 
 // FillRuntime populates the runtime-pressure fields from the Go runtime.
 // ReadMemStats stops the world briefly; health is polled at human frequency,
@@ -60,7 +71,11 @@ func (h *HealthSignal) FillRuntime() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	h.HeapAlloc = ms.HeapAlloc
+	h.AllocTotal = ms.TotalAlloc
+	h.AllocRate = healthAllocMeter.Observe(ms.TotalAlloc, time.Now())
 	h.GCPauseTotal = time.Duration(ms.PauseTotalNs)
+	h.GCCycles = ms.NumGC
+	h.GCCPUFraction = ms.GCCPUFraction
 	if ms.NumGC > 0 {
 		h.LastGCPause = time.Duration(ms.PauseNs[(ms.NumGC+255)%256])
 	}

@@ -24,11 +24,40 @@ func (c *memStatsCache) read() runtime.MemStats {
 	return c.stat
 }
 
+// AllocRateMeter derives a bytes-per-second allocation rate from successive
+// MemStats.TotalAlloc samples: the GC-pressure number that tells an operator
+// whether a deploy regressed the hot path's allocation discipline.
+type AllocRateMeter struct {
+	mu    sync.Mutex
+	at    time.Time
+	total uint64
+	rate  float64
+}
+
+// Observe feeds one TotalAlloc sample and returns the current rate. The rate
+// only re-derives when at least a second elapsed since the last derivation,
+// so closely spaced scrapes see a stable value instead of noise.
+func (m *AllocRateMeter) Observe(totalAlloc uint64, now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.at.IsZero() {
+		m.at, m.total = now, totalAlloc
+		return 0
+	}
+	if dt := now.Sub(m.at).Seconds(); dt >= 1 {
+		m.rate = float64(totalAlloc-m.total) / dt
+		m.at, m.total = now, totalAlloc
+	}
+	return m.rate
+}
+
 // RegisterGoRuntime adds the Go runtime gauges a production dashboard
-// expects next to the request series: goroutine count, heap in use, total
-// GC pause time and GC cycle count.
+// expects next to the request series: goroutine count, heap in use, GC
+// pause time (cumulative and most recent), GC cycle and CPU cost, and the
+// allocation rate.
 func (r *Registry) RegisterGoRuntime() {
 	cache := &memStatsCache{}
+	meter := &AllocRateMeter{}
 	r.GaugeFunc("serenade_go_goroutines", "Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	r.GaugeFunc("serenade_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
@@ -37,6 +66,20 @@ func (r *Registry) RegisterGoRuntime() {
 		func() float64 { return float64(cache.read().Sys) })
 	r.CounterFunc("serenade_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
 		func() float64 { return float64(cache.read().PauseTotalNs) / 1e9 })
+	r.GaugeFunc("serenade_gc_pause_seconds", "Most recent stop-the-world GC pause.",
+		func() float64 {
+			ms := cache.read()
+			if ms.NumGC == 0 {
+				return 0
+			}
+			return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+		})
 	r.CounterFunc("serenade_go_gc_cycles_total", "Completed GC cycles.",
 		func() float64 { return float64(cache.read().NumGC) })
+	r.GaugeFunc("serenade_go_gc_cpu_fraction", "Fraction of available CPU consumed by the GC since start.",
+		func() float64 { return cache.read().GCCPUFraction })
+	r.CounterFunc("serenade_go_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		func() float64 { return float64(cache.read().TotalAlloc) })
+	r.GaugeFunc("serenade_go_alloc_bytes_per_sec", "Heap allocation rate between scrapes.",
+		func() float64 { return meter.Observe(cache.read().TotalAlloc, time.Now()) })
 }

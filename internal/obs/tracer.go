@@ -90,8 +90,7 @@ func NewTracer(opts TracerOptions) *Tracer {
 func (t *Tracer) Start(op string) *Span {
 	sp := t.pool.Get().(*Span)
 	now := nowMono()
-	sp.TraceID = NewTraceID()
-	sp.SpanID = NewSpanID()
+	sp.TraceID, sp.SpanID = NewTraceAndSpanID()
 	sp.Op = op
 	sp.Start = now
 	sp.cursor = now

@@ -12,9 +12,14 @@ import (
 // DefaultBatchMax bounds a gathered batch when Config.BatchMax is zero.
 const DefaultBatchMax = 16
 
-// batchJob is one request's slot in a gathered batch. items, genSeq, wait and
-// batchSize are written by the batch runner before done closes and are owned
-// by the requester afterwards.
+// batchJob is one request's slot in a gathered batch. items, genSeq, wait
+// and batchSize are written by the batch runner before it signals done and
+// are owned by the requester afterwards, until the requester recycles the
+// job with putBatchJob.
+//
+// Jobs are pooled: done is a single-slot buffered channel reused across
+// requests (the runner sends one token per dispatch instead of closing), and
+// items is a reusable buffer the requester must copy out of before recycling.
 type batchJob struct {
 	predictFrom []sessions.ItemID
 	slot        int
@@ -26,6 +31,25 @@ type batchJob struct {
 	genSeq    uint64
 	wait      time.Duration
 	batchSize int
+}
+
+var batchJobPool = sync.Pool{New: func() any {
+	return &batchJob{done: make(chan struct{}, 1)}
+}}
+
+func getBatchJob(predictFrom []sessions.ItemID, slot int) *batchJob {
+	job := batchJobPool.Get().(*batchJob)
+	job.predictFrom = predictFrom
+	job.slot = slot
+	return job
+}
+
+// putBatchJob recycles a completed job. The caller must have received the
+// done token and copied items out; predictFrom is dropped so the pool does
+// not pin a request scratch buffer.
+func putBatchJob(job *batchJob) {
+	job.predictFrom = nil
+	batchJobPool.Put(job)
 }
 
 // batcher gathers concurrent recommendation requests into shared
@@ -136,8 +160,16 @@ func (b *batcher) close() {
 	b.stopped.Wait()
 }
 
+// batchQueriesPool recycles the per-batch query-slice header so dispatching
+// a batch does not allocate. Entries are cleared before pooling: a retained
+// reference would pin a requester's scratch session buffer.
+var batchQueriesPool = sync.Pool{New: func() any {
+	return new([][]sessions.ItemID)
+}}
+
 // runBatch executes one gathered batch against the active index generation
-// and hands each requester a private copy of its result.
+// and hands each requester a private copy of its result (in the job's
+// reusable buffer, valid until the requester recycles the job).
 func (s *Server) runBatch(jobs []*batchJob) {
 	// Queue wait is measured at dispatch, before the kernel runs: the time a
 	// request spent gathering joiners (plus any channel backlog). The rolling
@@ -153,17 +185,21 @@ func (s *Server) runBatch(jobs []*batchJob) {
 	}
 	gen := s.acquireGen()
 	br := gen.batchPool.Get().(*core.BatchRecommender)
-	queries := make([][]sessions.ItemID, len(jobs))
-	for i, job := range jobs {
-		queries[i] = job.predictFrom
+	qp := batchQueriesPool.Get().(*[][]sessions.ItemID)
+	queries := (*qp)[:0]
+	for _, job := range jobs {
+		queries = append(queries, job.predictFrom)
 	}
 	// The over-fetch slot is a server constant, identical across jobs.
 	results := br.BatchRecommend(queries, jobs[0].slot)
 	for i, job := range jobs {
-		job.items = append(make([]core.ScoredItem, 0, len(results[i])), results[i]...)
+		job.items = append(job.items[:0], results[i]...)
 		job.genSeq = gen.seq
-		close(job.done)
+		job.done <- struct{}{}
 	}
 	gen.batchPool.Put(br)
 	gen.release()
+	clear(queries)
+	*qp = queries
+	batchQueriesPool.Put(qp)
 }

@@ -74,22 +74,28 @@ func newResultCache(maxEntries int, ttl time.Duration, now func() time.Time) *re
 	return c
 }
 
-// cacheKey encodes (generation seq, slot, session tail) as the cache's map
-// key. The full tail is embedded — not a digest — so two different sessions
-// can never alias one entry.
-func cacheKey(tail []sessions.ItemID, slot int, genSeq uint64) string {
-	buf := make([]byte, 12+4*len(tail))
+// appendCacheKey encodes (generation seq, slot, session tail) as the cache's
+// map key, appending to dst so the per-request key builds in a reused
+// scratch buffer. The full tail is embedded — not a digest — so two
+// different sessions can never alias one entry. The bytes only become a
+// string (one retained allocation) when a leader inserts the entry; lookups
+// use Go's allocation-free map[string] access on the byte form.
+func appendCacheKey(dst []byte, tail []sessions.ItemID, slot int, genSeq uint64) []byte {
+	var tmp [8]byte
 	le := binary.LittleEndian
-	le.PutUint64(buf[0:8], genSeq)
-	le.PutUint32(buf[8:12], uint32(slot))
-	for i, it := range tail {
-		le.PutUint32(buf[12+4*i:], uint32(it))
+	le.PutUint64(tmp[:], genSeq)
+	dst = append(dst, tmp[:]...)
+	le.PutUint32(tmp[:4], uint32(slot))
+	dst = append(dst, tmp[:4]...)
+	for _, it := range tail {
+		le.PutUint32(tmp[:4], uint32(it))
+		dst = append(dst, tmp[:4]...)
 	}
-	return string(buf)
+	return dst
 }
 
 // shardOf picks the stripe for a key (FNV-1a over the key bytes).
-func (c *resultCache) shardOf(key string) *cacheShard {
+func (c *resultCache) shardOf(key []byte) *cacheShard {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -112,11 +118,11 @@ const (
 // MUST complete the entry with fill (or abandon); every other caller waits on
 // entry.done and then reads entry.items. Hit, miss and coalesced counters are
 // maintained here.
-func (c *resultCache) acquire(key string) (*cacheEntry, cacheOutcome) {
+func (c *resultCache) acquire(key []byte) (*cacheEntry, cacheOutcome) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e, ok := sh.entries[key]; ok {
+	if e, ok := sh.entries[string(key)]; ok { // no-alloc map access
 		select {
 		case <-e.done:
 			if c.now().Before(e.expires) && e.items != nil {
@@ -134,7 +140,7 @@ func (c *resultCache) acquire(key string) (*cacheEntry, cacheOutcome) {
 		c.evictLocked(sh)
 	}
 	e := &cacheEntry{done: make(chan struct{})}
-	sh.entries[key] = e
+	sh.entries[string(key)] = e // the one place the key bytes become a string
 	return e, cacheLead
 }
 
@@ -174,26 +180,26 @@ func (c *resultCache) evictLocked(sh *cacheShard) {
 // generation than the key names (a rollover raced the request) — still
 // publishes to the coalesced waiters but drops the entry instead of caching
 // it.
-func (c *resultCache) fill(key string, e *cacheEntry, items []core.ScoredItem, keep bool) {
+func (c *resultCache) fill(key []byte, e *cacheEntry, items []core.ScoredItem, keep bool) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
 	e.items = append(make([]core.ScoredItem, 0, len(items)), items...)
 	e.expires = c.now().Add(c.ttl)
 	close(e.done)
-	if !keep && sh.entries[key] == e {
-		delete(sh.entries, key)
+	if !keep && sh.entries[string(key)] == e {
+		delete(sh.entries, string(key))
 	}
 	sh.mu.Unlock()
 }
 
 // abandon releases a leader's entry without a value (the compute path
 // failed): waiters see nil items and compute for themselves.
-func (c *resultCache) abandon(key string, e *cacheEntry) {
+func (c *resultCache) abandon(key []byte, e *cacheEntry) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
 	close(e.done)
-	if sh.entries[key] == e {
-		delete(sh.entries, key)
+	if sh.entries[string(key)] == e {
+		delete(sh.entries, string(key))
 	}
 	sh.mu.Unlock()
 }

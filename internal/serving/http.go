@@ -1,10 +1,14 @@
 package serving
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"serenade/internal/index"
@@ -145,16 +149,23 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrack ingests click/conversion feedback and attributes it back to
-// the exposure its recommendation id names.
+// the exposure its recommendation id names. The whole path — body read,
+// decode, encode — runs on pooled scratch buffers.
 func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	if s.quality == nil {
 		writeError(w, http.StatusNotFound, "quality telemetry is not enabled on this server")
 		return
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	body, err := readAllInto(sc.body, r.Body)
+	sc.body = body
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
 	var req TrackRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := DecodeTrackRequest(&sc.dec, body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return
 	}
@@ -163,7 +174,12 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, _ := s.Track(req)
-	writeJSON(w, http.StatusOK, resp)
+	// Trailing newline matches the json.Encoder framing this endpoint has
+	// always used.
+	sc.enc = append(EncodeTrackResponse(sc.enc[:0], &resp), '\n')
+	w.Header()["Content-Type"] = contentTypeJSON
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.enc)
 }
 
 // handleQuality serves the online quality snapshot.
@@ -176,33 +192,88 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommendPost(w http.ResponseWriter, r *http.Request) {
-	var req Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	body, err := readAllInto(sc.body, r.Body)
+	sc.body = body
+	if err != nil {
 		s.countBadRequest()
 		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
 		return
 	}
-	s.serveRecommend(w, r, req)
+	var req Request
+	if err := DecodeRequest(&sc.dec, body, &req); err != nil {
+		s.countBadRequest()
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	s.serveRecommend(w, r, req, sc)
 }
 
 func (s *Server) handleRecommendGet(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	itemStr := q.Get("item_id")
+	var itemStr, sessionKey string
+	consent := true
+	var haveItem, haveSession, haveConsent bool
+	// Hand-rolled query scan: url.Values would allocate a map plus a value
+	// slice per key on every beacon request. Unescaping only happens when a
+	// value actually contains an escape.
+	for q := r.URL.RawQuery; q != ""; {
+		var kv string
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			kv, q = q[:i], q[i+1:]
+		} else {
+			kv, q = q, ""
+		}
+		if kv == "" || strings.Contains(kv, ";") {
+			continue // net/url also drops semicolon-separated settings
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		k, ok := queryUnescape(k)
+		if !ok {
+			continue
+		}
+		v, ok = queryUnescape(v)
+		if !ok {
+			continue
+		}
+		switch k {
+		case "item_id":
+			if !haveItem {
+				itemStr, haveItem = v, true
+			}
+		case "session_id":
+			if !haveSession {
+				sessionKey, haveSession = v, true
+			}
+		case "consent":
+			if !haveConsent {
+				consent, haveConsent = v != "false", true
+			}
+		}
+	}
 	item, err := strconv.ParseUint(itemStr, 10, 32)
 	if err != nil {
 		s.countBadRequest()
 		writeError(w, http.StatusBadRequest, "invalid item_id "+strconv.Quote(itemStr))
 		return
 	}
-	sessionKey := q.Get("session_id")
-	consent := q.Get("consent") != "false"
+	sc := getScratch()
+	defer putScratch(sc)
 	s.serveRecommend(w, r, Request{
 		SessionKey: sessionKey,
 		Item:       sessions.ItemID(item),
 		Consent:    consent,
-	})
+	}, sc)
+}
+
+// queryUnescape decodes one query component, returning it unchanged (and
+// allocation-free) when it contains no escapes.
+func queryUnescape(s string) (string, bool) {
+	if !strings.ContainsAny(s, "%+") {
+		return s, true
+	}
+	u, err := url.QueryUnescape(s)
+	return u, err == nil
 }
 
 func (s *Server) countBadRequest() {
@@ -213,7 +284,9 @@ func (s *Server) countBadRequest() {
 // serveRecommend is the traced HTTP entry point: it continues a propagated
 // trace (Traceparent header) or starts a fresh one, echoes the request id in
 // X-Request-Id, and attributes response serialisation to the encode stage.
-func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Request) {
+// The caller owns sc and releases it after serveRecommend returns, which is
+// after the response bytes have been written.
+func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Request, sc *reqScratch) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	sp := s.tracer.StartRemote("recommend", r.Header.Get(obs.TraceparentHeader))
@@ -236,33 +309,31 @@ func (s *Server) serveRecommend(w http.ResponseWriter, r *http.Request, req Requ
 	// after a lost response): replay the stored response; the click must
 	// not be appended to the evolving session a second time.
 	idem := r.Header.Get(IdempotencyKeyHeader)
-	if body, ok := s.replayIdempotent(idem); ok {
+	if body, ok := s.replayIdempotent(idem, sc.enc[:0]); ok {
+		sc.enc = body
 		s.idemReplays.Inc()
-		w.Header().Set(IdempotencyReplayHeader, "true")
-		w.Header().Set("Content-Type", "application/json")
+		h := w.Header()
+		h[IdempotencyReplayHeader] = replayTrue
+		h["Content-Type"] = contentTypeJSON
 		w.WriteHeader(http.StatusOK)
 		w.Write(body)
 		sp.Cut(obs.StageEncode)
 		s.observeSpan(sp, nil)
 		return
 	}
-	resp, err := s.recommend(req, sp)
+	resp, err := s.recommend(req, sp, sc)
 	if err != nil {
 		s.observeSpan(sp, err)
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	body, err := json.Marshal(resp)
-	if err != nil {
-		s.observeSpan(sp, err)
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	// Record before responding, so a retry racing the response sees it.
-	s.storeIdempotent(idem, body)
-	w.Header().Set("Content-Type", "application/json")
+	sc.enc = EncodeResponse(sc.enc[:0], &resp)
+	// Record before responding, so a retry racing the response sees it
+	// (the dedupe store copies the body out of the scratch buffer).
+	s.storeIdempotent(idem, sc.enc)
+	w.Header()["Content-Type"] = contentTypeJSON
 	w.WriteHeader(http.StatusOK)
-	w.Write(body)
+	w.Write(sc.enc)
 	sp.Cut(obs.StageEncode)
 	s.observeSpan(sp, nil)
 }
@@ -287,10 +358,42 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.WritePrometheus(w)
 }
 
+// contentTypeJSON and replayTrue are shared immutable header values: direct
+// map assignment of a package-level slice skips the per-request []string
+// allocation http.Header.Set would make. Nothing may ever mutate them.
+var (
+	contentTypeJSON = []string{"application/json"}
+	replayTrue      = []string{"true"}
+)
+
+// jsonEnc pairs a buffer with an encoder bound to it, so writeJSON reuses
+// both instead of constructing a fresh json.Encoder per call.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// writeJSON serialises v through a pooled encoder. Buffering before the
+// first write also means an encode failure surfaces as a clean 500 instead
+// of a torn 200 body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	e := jsonEncPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		jsonEncPool.Put(e)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header()["Content-Type"] = contentTypeJSON
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	w.Write(e.buf.Bytes())
+	jsonEncPool.Put(e)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serving
+
+// raceEnabled reports whether the race detector is on; alloc-count
+// assertions are skipped there because instrumentation inflates counts.
+const raceEnabled = false

@@ -716,12 +716,13 @@ func (s *Server) Close() error {
 }
 
 // replayIdempotent returns the stored response body for an idempotency key
-// seen before (within the TTL), if any.
-func (s *Server) replayIdempotent(key string) ([]byte, bool) {
+// seen before (within the TTL), if any. The body is appended to dst so the
+// caller's scratch buffer absorbs the copy.
+func (s *Server) replayIdempotent(key string, dst []byte) ([]byte, bool) {
 	if key == "" || s.dedupe == nil {
 		return nil, false
 	}
-	return s.dedupe.Get(key)
+	return s.dedupe.GetAppend(key, dst)
 }
 
 // storeIdempotent records a successful response body under its idempotency
@@ -770,9 +771,16 @@ type Response struct {
 func (s *Server) Recommend(req Request) (Response, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	sc := getScratch()
+	defer putScratch(sc)
 	sp := s.tracer.Start("recommend")
-	resp, err := s.recommend(req, sp)
+	resp, err := s.recommend(req, sp, sc)
 	s.observeSpan(sp, err)
+	// The pipeline's item list lives in the scratch; callers of the public
+	// API own their Response, so hand them a private copy.
+	if resp.Items != nil {
+		resp.Items = append(make([]core.ScoredItem, 0, len(resp.Items)), resp.Items...)
+	}
 	return resp, err
 }
 
@@ -780,13 +788,13 @@ func (s *Server) Recommend(req Request) (Response, error) {
 // cuts — every segment between span start and the last cut lands in some
 // stage — so a trace's stage durations account for (nearly all of) its
 // total and tail latency is attributable, not mysterious.
-func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
+func (s *Server) recommend(req Request, sp *obs.Span, sc *reqScratch) (Response, error) {
 	if s.cfg.Trending != nil {
 		s.cfg.Trending.Observe(req.Item, 1)
 	}
 	var evolving []sessions.ItemID
 	if req.Consent {
-		evolving = s.updateSession(req.SessionKey, req.Item)
+		evolving = s.updateSession(req.SessionKey, req.Item, sc)
 	} else {
 		// Depersonalisation (§4.2): forget stored history immediately and
 		// predict from the displayed item alone.
@@ -795,7 +803,8 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 			sp.Cut(obs.StageStore)
 			return Response{}, err
 		}
-		evolving = []sessions.ItemID{req.Item}
+		evolving = append(sc.session[:0], req.Item)
+		sc.session = evolving
 	}
 	sp.Cut(obs.StageStore)
 
@@ -816,7 +825,7 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 		// elapsed segment into batch_wait; the remainder — kernel work plus
 		// any cache coalescing — lands in score (the candidates/score split
 		// only exists on the unbatched path).
-		raw, wait := s.predictShared(sp, predictFrom, slot)
+		raw, wait := s.predictShared(sp, predictFrom, slot, sc)
 		if wait > 0 {
 			sp.CutSplit(obs.StageBatchWait, wait, obs.StageScore)
 		} else {
@@ -838,8 +847,8 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 			items = items[:s.cfg.Recommendations]
 		}
 		// Copy out of the recommender's reusable buffers before pooling it.
-		out = make([]core.ScoredItem, len(items))
-		copy(out, items)
+		out = append(sc.items[:0], items...)
+		sc.items = out
 		gen.pool.Put(rec)
 		gen.release()
 	}
@@ -876,13 +885,14 @@ func (s *Server) recommend(req Request, sp *obs.Span) (Response, error) {
 // owns and may mutate plus the time the request spent queued in the batcher.
 // It annotates sp with the cache outcome and records the lookup into the
 // rolling hit-ratio window.
-func (s *Server) predictShared(sp *obs.Span, predictFrom []sessions.ItemID, slot int) ([]core.ScoredItem, time.Duration) {
+func (s *Server) predictShared(sp *obs.Span, predictFrom []sessions.ItemID, slot int, sc *reqScratch) ([]core.ScoredItem, time.Duration) {
 	if s.cache == nil {
-		items, _, wait := s.predictBatched(sp, predictFrom, slot)
+		items, _, wait := s.predictBatched(sp, predictFrom, slot, sc)
 		return items, wait
 	}
 	genSeq := s.active.Load().seq
-	key := cacheKey(s.kernelTail(predictFrom), slot, genSeq)
+	key := appendCacheKey(sc.key[:0], s.kernelTail(predictFrom), slot, genSeq)
+	sc.key = key
 	e, outcome := s.cache.acquire(key)
 	s.cacheWin.Add(1, boolLane(outcome != cacheLead), 0)
 	if outcome != cacheLead {
@@ -893,10 +903,12 @@ func (s *Server) predictShared(sp *obs.Span, predictFrom []sessions.ItemID, slot
 		}
 		<-e.done
 		if e.items != nil {
-			return append(make([]core.ScoredItem, 0, len(e.items)), e.items...), 0
+			out := append(sc.items[:0], e.items...)
+			sc.items = out
+			return out, 0
 		}
 		// The leader abandoned the entry; compute independently.
-		items, _, wait := s.predictBatched(sp, predictFrom, slot)
+		items, _, wait := s.predictBatched(sp, predictFrom, slot, sc)
 		return items, wait
 	}
 	sp.AddFlags(obs.FlagCacheMiss | obs.FlagCacheLeader)
@@ -906,7 +918,7 @@ func (s *Server) predictShared(sp *obs.Span, predictFrom []sessions.ItemID, slot
 			s.cache.abandon(key, e)
 		}
 	}()
-	items, usedSeq, wait := s.predictBatched(sp, predictFrom, slot)
+	items, usedSeq, wait := s.predictBatched(sp, predictFrom, slot, sc)
 	// A rollover between key construction and execution means the value
 	// belongs to a different generation than the key names: publish it to
 	// the waiters but do not retain it.
@@ -924,22 +936,29 @@ func boolLane(b bool) uint64 {
 }
 
 // predictBatched runs the kernel through the batcher when enabled, else
-// directly against a pooled recommender. The returned slice is a private
-// copy; the second result is the index generation that served it, the third
-// the batcher queue wait (0 when unbatched).
-func (s *Server) predictBatched(sp *obs.Span, predictFrom []sessions.ItemID, slot int) ([]core.ScoredItem, uint64, time.Duration) {
+// directly against a pooled recommender. The returned slice is backed by the
+// request scratch (so the caller owns and may mutate it); the second result
+// is the index generation that served it, the third the batcher queue wait
+// (0 when unbatched).
+func (s *Server) predictBatched(sp *obs.Span, predictFrom []sessions.ItemID, slot int, sc *reqScratch) ([]core.ScoredItem, uint64, time.Duration) {
 	if s.batcher != nil {
-		job := &batchJob{predictFrom: predictFrom, slot: slot, done: make(chan struct{})}
+		job := getBatchJob(predictFrom, slot)
 		s.batcher.submit(job)
 		<-job.done
 		sp.AddFlags(obs.FlagBatched)
 		sp.BatchSize = job.batchSize
-		return job.items, job.genSeq, job.wait
+		// Copy out of the job's reusable buffer before recycling it.
+		out := append(sc.items[:0], job.items...)
+		sc.items = out
+		seq, wait := job.genSeq, job.wait
+		putBatchJob(job)
+		return out, seq, wait
 	}
 	gen := s.acquireGen()
 	rec := gen.pool.Get().(*core.Recommender)
 	raw := rec.Recommend(predictFrom, slot)
-	out := append(make([]core.ScoredItem, 0, len(raw)), raw...)
+	out := append(sc.items[:0], raw...)
+	sc.items = out
 	gen.pool.Put(rec)
 	seq := gen.seq
 	gen.release()
@@ -982,30 +1001,36 @@ func (s *Server) observeSpan(sp *obs.Span, err error) {
 }
 
 // updateSession appends the item to the stored session and returns the new
-// evolving session.
-func (s *Server) updateSession(key string, item sessions.ItemID) []sessions.ItemID {
-	var evolving []sessions.ItemID
-	if raw, ok := s.store.Get(key); ok {
-		evolving = decodeSession(raw)
+// evolving session, backed by the request scratch. Both kvstore round trips
+// run through reused buffers: the read appends into the scratch, the write's
+// value is copied by the store.
+func (s *Server) updateSession(key string, item sessions.ItemID, sc *reqScratch) []sessions.ItemID {
+	evolving := sc.session[:0]
+	if raw, ok := s.store.GetAppend(key, sc.kvBuf[:0]); ok {
+		sc.kvBuf = raw
+		evolving = appendSession(evolving, raw)
 	}
 	evolving = append(evolving, item)
 	if len(evolving) > maxStoredSessionLength {
-		evolving = evolving[len(evolving)-maxStoredSessionLength:]
+		// Slide in place instead of reslicing forward, so the scratch's
+		// backing array does not creep and reallocate over many requests.
+		n := copy(evolving, evolving[len(evolving)-maxStoredSessionLength:])
+		evolving = evolving[:n]
 	}
+	sc.session = evolving
+	sc.sessEnc = appendSessionEnc(sc.sessEnc[:0], evolving)
 	// A failed write only loses session context for the next request —
 	// the paper's design explicitly tolerates session-state loss — so the
 	// current prediction proceeds regardless.
-	_ = s.store.Put(key, encodeSession(evolving))
+	_ = s.store.Put(key, sc.sessEnc)
 	return evolving
 }
 
 // padWithPopular appends popularity-ranked fallback items (score zero, so
-// ranking positions remain honest) until the slot is full.
+// ranking positions remain honest) until the slot is full. Dedup is a linear
+// scan over the list under construction — it never exceeds the configured
+// slot (a couple dozen items), where a scan beats allocating a set.
 func (s *Server) padWithPopular(out []core.ScoredItem, current sessions.ItemID, popular []core.ScoredItem) []core.ScoredItem {
-	have := make(map[sessions.ItemID]struct{}, len(out))
-	for _, it := range out {
-		have[it.Item] = struct{}{}
-	}
 	for _, p := range popular {
 		if len(out) >= s.cfg.Recommendations {
 			break
@@ -1013,13 +1038,19 @@ func (s *Server) padWithPopular(out []core.ScoredItem, current sessions.ItemID, 
 		if p.Item == current {
 			continue
 		}
-		if _, dup := have[p.Item]; dup {
+		dup := false
+		for _, it := range out {
+			if it.Item == p.Item {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
 		if s.cfg.Catalog != nil && !s.cfg.Catalog.Recommendable(p.Item) {
 			continue
 		}
-		have[p.Item] = struct{}{}
 		out = append(out, core.ScoredItem{Item: p.Item, Score: 0})
 	}
 	return out
@@ -1188,26 +1219,36 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// encodeSession serialises an evolving session as varint-encoded item ids.
-func encodeSession(items []sessions.ItemID) []byte {
-	buf := make([]byte, 0, len(items)*3)
+// appendSessionEnc serialises an evolving session as varint-encoded item
+// ids, appending to dst so hot callers reuse one buffer.
+func appendSessionEnc(dst []byte, items []sessions.ItemID) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, it := range items {
 		n := binary.PutUvarint(tmp[:], uint64(it))
-		buf = append(buf, tmp[:n]...)
+		dst = append(dst, tmp[:n]...)
 	}
-	return buf
+	return dst
 }
 
-func decodeSession(raw []byte) []sessions.ItemID {
-	var out []sessions.ItemID
+// encodeSession is the allocating form of appendSessionEnc.
+func encodeSession(items []sessions.ItemID) []byte {
+	return appendSessionEnc(make([]byte, 0, len(items)*3), items)
+}
+
+// appendSession decodes varint-encoded session state, appending to dst.
+func appendSession(dst []sessions.ItemID, raw []byte) []sessions.ItemID {
 	for len(raw) > 0 {
 		v, n := binary.Uvarint(raw)
 		if n <= 0 {
-			return out // torn state: keep the prefix
+			return dst // torn state: keep the prefix
 		}
-		out = append(out, sessions.ItemID(v))
+		dst = append(dst, sessions.ItemID(v))
 		raw = raw[n:]
 	}
-	return out
+	return dst
+}
+
+// decodeSession is the allocating form of appendSession.
+func decodeSession(raw []byte) []sessions.ItemID {
+	return appendSession(nil, raw)
 }
